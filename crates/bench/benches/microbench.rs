@@ -1,0 +1,132 @@
+//! Criterion microbenchmarks for the building blocks:
+//! lock-word operations, contention-likelihood evaluation, workload-graph
+//! construction + partitioning (Chiller star vs Schism clique — the §4.4
+//! cost claim), the run-time region decision, and raw simulator event
+//! throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use chiller_common::ids::{NodeId, OpId, PartitionId, RecordId, TableId, TxnId};
+use chiller_common::time::SimTime;
+use chiller_partition::likelihood::contention_likelihood;
+use chiller_partition::{ChillerPartitioner, ContentionModel, SchismPartitioner};
+use chiller_sproc::decide_regions;
+use chiller_storage::lock::{LockMode, LockState};
+use chiller_workload::instacart::{self, InstacartConfig};
+use chiller_workload::tpcc::procs::new_order_proc;
+use std::hint::black_box;
+
+fn bench_lock_word(c: &mut Criterion) {
+    c.bench_function("lock_acquire_release_exclusive", |b| {
+        let txn = TxnId::new(NodeId(0), 1);
+        let mut lock = LockState::new();
+        b.iter(|| {
+            assert!(lock.try_acquire(txn, LockMode::Exclusive, SimTime(0)));
+            black_box(lock.release(txn, SimTime(1)));
+        });
+    });
+    c.bench_function("lock_conflicting_acquire", |b| {
+        let holder = TxnId::new(NodeId(0), 1);
+        let other = TxnId::new(NodeId(0), 2);
+        let mut lock = LockState::new();
+        lock.try_acquire(holder, LockMode::Exclusive, SimTime(0));
+        b.iter(|| black_box(lock.try_acquire(other, LockMode::Shared, SimTime(0))));
+    });
+}
+
+fn bench_contention_likelihood(c: &mut Criterion) {
+    c.bench_function("contention_likelihood_eval", |b| {
+        b.iter(|| black_box(contention_likelihood(black_box(0.7), black_box(1.3))));
+    });
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    // §4.4: Chiller's star graph (n edges/txn) vs Schism's clique
+    // (n(n-1)/2 edges/txn).
+    let cfg = InstacartConfig {
+        products: 5_000,
+        ..Default::default()
+    };
+    let trace = instacart::trace(&cfg, 1_000, 2_000_000);
+    let model = ContentionModel::new(30_000.0, trace.window_ns as f64);
+    let mut group = c.benchmark_group("partitioning_cost");
+    group.sample_size(10);
+    group.bench_function("chiller_star_pipeline", |b| {
+        b.iter(|| black_box(ChillerPartitioner::new(8, model).partition(&trace)))
+    });
+    group.bench_function("schism_clique_pipeline", |b| {
+        b.iter(|| black_box(SchismPartitioner::new(8).partition(&trace)))
+    });
+    group.finish();
+}
+
+fn bench_region_decision(c: &mut Criterion) {
+    // The per-transaction run-time overhead Chiller adds (§3.3).
+    let proc = new_order_proc(10);
+    let parts: Vec<Option<PartitionId>> = (0..proc.num_ops())
+        .map(|i| Some(PartitionId((i % 4) as u32)))
+        .collect();
+    let mut hot = vec![false; proc.num_ops()];
+    hot[1] = true;
+    c.bench_function("region_decision_new_order", |b| {
+        b.iter(|| black_box(decide_regions(&proc, black_box(&parts), black_box(&hot))));
+    });
+}
+
+fn bench_sproc_resolution(c: &mut Criterion) {
+    let proc = new_order_proc(10);
+    c.bench_function("key_resolution_static", |b| {
+        let st = chiller_sproc::ExecState::new(
+            (0..40).map(|i| chiller_common::value::Value::I64(i)).collect(),
+            proc.num_ops(),
+        );
+        b.iter(|| black_box(proc.op(OpId(0)).key.resolve(&st)));
+    });
+}
+
+fn bench_placement(c: &mut Criterion) {
+    use chiller_storage::placement::{HashPlacement, LookupTable, Placement};
+    let lt = LookupTable::with_entries(
+        (0..64u64).map(|k| (RecordId::new(TableId(1), k), PartitionId(0))),
+        HashPlacement::new(8),
+    );
+    c.bench_function("lookup_table_hot_hit", |b| {
+        b.iter(|| black_box(lt.partition_of(RecordId::new(TableId(1), 5))));
+    });
+    c.bench_function("lookup_table_cold_fallback", |b| {
+        b.iter(|| black_box(lt.partition_of(RecordId::new(TableId(1), 999_999))));
+    });
+}
+
+fn bench_cluster_throughput(c: &mut Criterion) {
+    // End-to-end: virtual milliseconds of TPC-C per wall second.
+    use chiller::cluster::RunSpec;
+    use chiller::prelude::*;
+    use chiller_workload::tpcc::{build_tpcc_cluster, TpccConfig, TpccMix};
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    group.bench_function("tpcc_2ms_4wh_chiller", |b| {
+        b.iter_batched(
+            || {
+                let cfg = TpccConfig::with_warehouses(4);
+                let mut sim = SimConfig::default();
+                sim.engine.concurrency = 4;
+                build_tpcc_cluster(&cfg, TpccMix::default(), Protocol::Chiller, sim)
+            },
+            |mut cluster| black_box(cluster.run(RunSpec::millis(0, 2)).total_commits()),
+            BatchSize::PerIteration,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lock_word,
+    bench_contention_likelihood,
+    bench_partitioners,
+    bench_region_decision,
+    bench_sproc_resolution,
+    bench_placement,
+    bench_cluster_throughput
+);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! **Ablation: re-ordering alone vs re-ordering + contention-aware
+//! partitioning.** The paper's introduction argues that "re-ordering
+//! operations without re-considering the partitioning scheme only leads to
+//! limited performance improvements; the challenge lies in optimizing both
+//! at the same time."
+//!
+//! Three configurations on the transfer workload with a co-written hot set:
+//! 1. 2PL over hash placement (no re-ordering, no contention layout);
+//! 2. Chiller execution over hash placement (re-ordering alone: hot records
+//!    land on arbitrary partitions, so many transactions find no legal
+//!    single inner host);
+//! 3. Chiller execution over the contention-aware layout (hot set
+//!    co-located): the full system.
+
+use chiller::cluster::RunSpec;
+use chiller::prelude::*;
+use chiller_bench::{ktps, print_table, ratio};
+use chiller_workload::transfer::{transfer_proc, TransferConfig, TransferSource};
+use std::sync::Arc;
+
+fn run(
+    cfg: &TransferConfig,
+    nodes: usize,
+    protocol: Protocol,
+    contention_aware: bool,
+) -> (f64, f64) {
+    let mut builder = ClusterBuilder::new(TransferConfig::schema(), nodes);
+    let proc = builder.register_proc(transfer_proc());
+    let placement: Arc<dyn Placement + Send + Sync> = if contention_aware {
+        Arc::new(cfg.chiller_placement(nodes as u32))
+    } else {
+        Arc::new(HashPlacement::new(nodes as u32))
+    };
+    let mut sim = SimConfig::default();
+    sim.engine.concurrency = 6;
+    sim.seed = 0xAB2;
+    builder
+        .protocol(protocol)
+        .config(sim)
+        .placement(placement)
+        .hot_records(cfg.hot_records())
+        .load(cfg.initial_records());
+    let cfg2 = cfg.clone();
+    builder.source_per_node(move |_| Box::new(TransferSource::new(cfg2.clone(), proc)));
+    let mut cluster = builder.build().expect("valid cluster");
+    let report = cluster.run(RunSpec::millis(2, 20));
+    (report.throughput(), report.abort_rate())
+}
+
+fn main() {
+    let cfg = TransferConfig {
+        accounts: 4_000,
+        hot_set: 12,
+        hot_fraction: 0.5,
+    };
+    let nodes = 6;
+    let baseline = run(&cfg, nodes, Protocol::TwoPhaseLocking, false);
+    let reorder_only = run(&cfg, nodes, Protocol::Chiller, false);
+    let full = run(&cfg, nodes, Protocol::Chiller, true);
+
+    let rows = vec![
+        vec![
+            "2PL + hash (baseline)".to_string(),
+            ktps(baseline.0),
+            ratio(baseline.1),
+            "1.00x".to_string(),
+        ],
+        vec![
+            "two-region + hash (re-ordering alone)".to_string(),
+            ktps(reorder_only.0),
+            ratio(reorder_only.1),
+            format!("{:.2}x", reorder_only.0 / baseline.0),
+        ],
+        vec![
+            "two-region + contention-aware layout (full)".to_string(),
+            ktps(full.0),
+            ratio(full.1),
+            format!("{:.2}x", full.0 / baseline.0),
+        ],
+    ];
+    print_table(
+        "Ablation: re-ordering alone vs the full co-design (transfer workload)",
+        &["configuration", "ktps", "abort", "vs baseline"],
+        &rows,
+    );
+    println!("\nRe-ordering alone helps only when a transaction's hot records happen");
+    println!("to share a partition; the paper's claim is that execution and");
+    println!("partitioning must be co-designed — the full configuration should");
+    println!("clearly dominate both others.");
+}

@@ -1,0 +1,74 @@
+//! **Figure 10**: impact of the fraction of distributed transactions.
+//! NewOrder + Payment 50/50 mix; the probability that a transaction is
+//! distributed (remote items / remote customer) sweeps 0%..100%. Series:
+//! 2PL and OCC at 1 and 5 concurrent txns/warehouse, Chiller at 5.
+//!
+//! Expected shape (paper): every baseline degrades steeply as the
+//! distributed fraction rises (especially at 5 concurrent, where prolonged
+//! locks compound conflicts); Chiller has the best absolute throughput and
+//! degrades the least (<20% from 0% to 100% distributed).
+
+use chiller::cluster::RunSpec;
+use chiller::experiment::sweep;
+use chiller::prelude::*;
+use chiller_bench::{ktps, print_table};
+use chiller_workload::tpcc::{build_tpcc_cluster, TpccConfig, TpccMix};
+
+const WAREHOUSES: u64 = 8;
+
+fn main() {
+    let cfg = TpccConfig::with_warehouses(WAREHOUSES);
+    let series: Vec<(&str, Protocol, usize)> = vec![
+        ("2pl(1)", Protocol::TwoPhaseLocking, 1),
+        ("occ(1)", Protocol::Occ, 1),
+        ("2pl(5)", Protocol::TwoPhaseLocking, 5),
+        ("occ(5)", Protocol::Occ, 5),
+        ("chiller(5)", Protocol::Chiller, 5),
+    ];
+    let fractions: Vec<u32> = vec![0, 20, 40, 60, 80, 100];
+    let points: Vec<(usize, u32)> = (0..series.len())
+        .flat_map(|s| fractions.iter().map(move |&f| (s, f)))
+        .collect();
+    let series2 = series.clone();
+    let cfg2 = cfg.clone();
+    let results = sweep(points.clone(), move |(s, frac)| {
+        let (_, protocol, conc) = series2[s];
+        let mut sim = SimConfig::default();
+        sim.engine.concurrency = conc;
+        sim.seed = 0xF10;
+        let mix = TpccMix::payment_neworder(frac as f64 / 100.0);
+        let mut cluster = build_tpcc_cluster(&cfg2, mix, protocol, sim);
+        let report = cluster.run(RunSpec::millis(2, 25));
+        report.throughput()
+    });
+    let get = |s: usize, f: u32| {
+        results[points.iter().position(|x| *x == (s, f)).expect("point")]
+    };
+
+    let mut header = vec!["pct_distributed".to_string()];
+    header.extend(series.iter().map(|(n, _, _)| n.to_string()));
+    let rows: Vec<Vec<String>> = fractions
+        .iter()
+        .map(|&f| {
+            let mut row = vec![f.to_string()];
+            row.extend((0..series.len()).map(|s| ktps(get(s, f))));
+            row
+        })
+        .collect();
+    print_table(
+        "Figure 10: throughput vs % distributed transactions (K txns/s)",
+        &header,
+        &rows,
+    );
+
+    let chiller = series.len() - 1;
+    let degradation = 1.0 - get(chiller, 100) / get(chiller, 0);
+    println!(
+        "\nchiller degradation 0%→100% distributed: {:.1}% (paper: <20%)",
+        degradation * 100.0
+    );
+    for (s, (name, _, _)) in series.iter().enumerate().take(chiller) {
+        let deg = 1.0 - get(s, 100) / get(s, 0);
+        println!("{name} degradation: {:.1}%", deg * 100.0);
+    }
+}

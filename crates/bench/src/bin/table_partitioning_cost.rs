@@ -1,0 +1,50 @@
+//! **§4.4 partitioning cost**: wall-clock time to build the workload graph
+//! and partition it, Schism's clique representation vs Chiller's star
+//! representation. The paper reports Schism up to ≈5× slower because the
+//! clique graph has `n(n-1)/2` edges per transaction vs Chiller's `n`.
+//!
+//! (This one measures real host time, not virtual time — it benchmarks the
+//! partitioners themselves.)
+
+use chiller_bench::print_table;
+use chiller_partition::{ChillerPartitioner, ContentionModel, SchismPartitioner};
+use chiller_workload::instacart::{self, InstacartConfig};
+use std::time::Instant;
+
+fn main() {
+    let cfg = InstacartConfig::default();
+    let mut rows = Vec::new();
+    for txns in [2_000usize, 4_000, 8_000] {
+        let trace = instacart::trace(&cfg, txns, 2_000 * txns as u64);
+        let model = ContentionModel::new(30_000.0, trace.window_ns as f64);
+
+        let t0 = Instant::now();
+        let chiller = ChillerPartitioner::new(8, model).partition(&trace);
+        let chiller_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let t0 = Instant::now();
+        let schism = SchismPartitioner::new(8).partition(&trace);
+        let schism_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        rows.push(vec![
+            txns.to_string(),
+            format!("{}", chiller.graph_edges),
+            format!("{}", schism.graph_edges),
+            format!("{chiller_ms:.0}"),
+            format!("{schism_ms:.0}"),
+            format!("{:.1}", schism_ms / chiller_ms),
+        ]);
+    }
+    print_table(
+        "Partitioning cost: graph build + partition (paper: Schism up to ≈5x slower)",
+        &[
+            "trace_txns",
+            "chiller_edges",
+            "schism_edges",
+            "chiller_ms",
+            "schism_ms",
+            "schism/chiller",
+        ],
+        &rows,
+    );
+}

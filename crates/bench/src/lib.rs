@@ -1,0 +1,71 @@
+//! Shared helpers for the experiment binaries that regenerate the paper's
+//! tables and figures (see DESIGN.md §4 for the experiment index and
+//! EXPERIMENTS.md for recorded outcomes).
+
+use std::fmt::Display;
+
+/// Print an aligned table: header row + data rows, also emitting a CSV
+/// block afterwards so results can be scraped.
+pub fn print_table<H: Display, C: Display>(title: &str, header: &[H], rows: &[Vec<C>]) {
+    println!("\n=== {title} ===");
+    let header_strs: Vec<String> = header.iter().map(|h| h.to_string()).collect();
+    let row_strs: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| r.iter().map(|c| c.to_string()).collect())
+        .collect();
+    let mut widths: Vec<usize> = header_strs.iter().map(String::len).collect();
+    for row in &row_strs {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>width$}", width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(&header_strs));
+    for row in &row_strs {
+        println!("{}", fmt_row(row));
+    }
+    println!("--- csv ---");
+    println!("{}", header_strs.join(","));
+    for row in &row_strs {
+        println!("{}", row.join(","));
+    }
+}
+
+/// Format a throughput in K txns/sec with 1 decimal.
+pub fn ktps(throughput: f64) -> String {
+    format!("{:.1}", throughput / 1_000.0)
+}
+
+/// Format a ratio with 3 decimals.
+pub fn ratio(r: f64) -> String {
+    format!("{r:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(ktps(123_456.0), "123.5");
+        assert_eq!(ratio(0.12345), "0.123");
+    }
+
+    #[test]
+    fn table_prints_without_panic() {
+        print_table(
+            "demo",
+            &["a", "b"],
+            &[vec!["1".to_string(), "2".to_string()]],
+        );
+    }
+}

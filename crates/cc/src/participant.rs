@@ -1,0 +1,422 @@
+//! Participant-side (storage-owner) message handlers.
+//!
+//! These model what the *destination* of a verb does: lock-word CAS +
+//! record READ for one-sided accesses (NIC-side, no engine CPU), inner
+//! region execution and replica application for RPCs (engine CPU, charged
+//! by the caller / simulator).
+
+use crate::engine::EngineActor;
+use crate::msg::{LockReadItem, Msg, OccReadItem, ValidateItem, WriteItem, WriteKind};
+use chiller_common::ids::{NodeId, OpId, PartitionId, RecordId, TxnId};
+use chiller_common::time::SimTime;
+use chiller_common::value::Row;
+use chiller_simnet::Ctx;
+use chiller_storage::lock::LockMode;
+
+impl EngineActor {
+    /// Release a primary-store lock, folding the observed contention span
+    /// into the hot/cold histograms.
+    pub(crate) fn unlock_with_metrics(&mut self, rid: RecordId, txn: TxnId, now: SimTime) {
+        if let Some(rel) = self.store.unlock(rid, txn, now) {
+            if self.hot.contains(&rid) {
+                self.metrics.hot_contention_span.record_duration(rel.held_for);
+            } else {
+                self.metrics.cold_contention_span.record_duration(rel.held_for);
+            }
+        }
+    }
+
+    /// Combined CAS-lock + READ (2PL / Chiller outer region). On any
+    /// failure, everything granted *within this message* is released before
+    /// replying, so the coordinator only tracks whole-message grants.
+    pub(crate) fn handle_lock_read(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        src: NodeId,
+        txn: TxnId,
+        req: u64,
+        items: Vec<LockReadItem>,
+    ) {
+        let now = ctx.now();
+        let mut granted: Vec<RecordId> = Vec::with_capacity(items.len());
+        let mut rows: Vec<(OpId, Row)> = Vec::new();
+        let mut conflict = None;
+        let mut missing = None;
+        for item in &items {
+            match self.store.try_lock(item.record, txn, item.mode, now) {
+                Ok(()) => granted.push(item.record),
+                Err(_) => {
+                    conflict = Some(item.record);
+                    break;
+                }
+            }
+            let exists = self.store.exists(item.record);
+            if exists == item.expect_absent {
+                // Existence precondition failed (missing record, or insert
+                // target already present): a non-retryable fault.
+                missing = Some(item.record);
+                break;
+            }
+            if item.want_row {
+                rows.push((
+                    item.op,
+                    self.store.read(item.record).expect("existence checked").clone(),
+                ));
+            }
+        }
+        let ok = conflict.is_none() && missing.is_none();
+        if !ok {
+            for rid in granted.drain(..) {
+                self.unlock_with_metrics(rid, txn, now);
+            }
+            rows.clear();
+        }
+        ctx.send(
+            src,
+            chiller_simnet::Verb::OneSided,
+            Msg::LockReadResp {
+                txn,
+                req,
+                granted: ok,
+                conflict,
+                missing,
+                rows,
+            },
+        );
+    }
+
+    /// Apply a write item to the primary store.
+    fn apply_write(&mut self, w: &WriteItem) {
+        match &w.kind {
+            WriteKind::Put(row) => self.store.write(w.record, row.clone()),
+            WriteKind::Insert(row) => {
+                // Duplicates were excluded while the bucket lock was held.
+                self.store
+                    .insert(w.record, row.clone())
+                    .expect("insert validated under lock");
+            }
+            WriteKind::Delete => {
+                self.store.delete(w.record).expect("delete validated under lock");
+            }
+        }
+    }
+
+    /// WRITE-back + unlock at commit time (one-sided; prepare piggybacked).
+    pub(crate) fn handle_commit_outer(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        src: NodeId,
+        txn: TxnId,
+        writes: Vec<WriteItem>,
+        unlocks: Vec<RecordId>,
+    ) {
+        for w in &writes {
+            self.apply_write(w);
+        }
+        let now = ctx.now();
+        for rid in unlocks {
+            self.unlock_with_metrics(rid, txn, now);
+        }
+        ctx.send(src, chiller_simnet::Verb::OneSided, Msg::CommitOuterAck { txn });
+    }
+
+    /// Release locks on the abort path (no ack needed: NO_WAIT retries are
+    /// driven by a timer, not by the release completing).
+    pub(crate) fn handle_abort_outer(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        txn: TxnId,
+        unlocks: Vec<RecordId>,
+    ) {
+        let now = ctx.now();
+        for rid in unlocks {
+            self.unlock_with_metrics(rid, txn, now);
+        }
+    }
+
+    /// Replica application (§5). Inner-region replication acks the
+    /// *coordinator*, never the inner host — the inner host has already
+    /// moved on (Figure 6).
+    pub(crate) fn handle_replicate(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        txn: TxnId,
+        partition: PartitionId,
+        writes: Vec<WriteItem>,
+        ack_coordinator: bool,
+    ) {
+        let cpu = chiller_common::time::Duration::from_nanos(
+            self.config.engine.op_cpu_ns * writes.len().max(1) as u64 / 2,
+        );
+        ctx.use_cpu(cpu);
+        let store = self
+            .replicas
+            .get_mut(&partition)
+            .unwrap_or_else(|| panic!("node has no replica of {partition}"));
+        for w in &writes {
+            match &w.kind {
+                WriteKind::Put(row) => store.write(w.record, row.clone()),
+                WriteKind::Insert(row) => store.write(w.record, row.clone()),
+                WriteKind::Delete => {
+                    let _ = store.delete(w.record);
+                }
+            }
+        }
+        if ack_coordinator {
+            ctx.send(
+                txn.coordinator(),
+                chiller_simnet::Verb::OneSided,
+                Msg::ReplicateAck { txn },
+            );
+        }
+    }
+
+    // ---- OCC -------------------------------------------------------------
+
+    /// Lock-free versioned read.
+    pub(crate) fn handle_occ_read(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        src: NodeId,
+        txn: TxnId,
+        req: u64,
+        items: Vec<OccReadItem>,
+    ) {
+        let rows = items
+            .iter()
+            .map(|it| {
+                let row = if it.want_row {
+                    self.store.read_opt(it.record).cloned()
+                } else {
+                    None
+                };
+                (it.op, row, self.store.version(it.record))
+            })
+            .collect();
+        ctx.send(src, chiller_simnet::Verb::OneSided, Msg::OccReadResp { txn, req, rows });
+    }
+
+    /// Validation: latch the write set (NO_WAIT), then check that every
+    /// observed version is still current. On failure, latches taken by
+    /// *this message* are dropped before replying.
+    pub(crate) fn handle_occ_validate(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        src: NodeId,
+        txn: TxnId,
+        items: Vec<ValidateItem>,
+    ) {
+        let now = ctx.now();
+        let mut latched: Vec<RecordId> = Vec::new();
+        let mut conflict = None;
+        for it in &items {
+            if it.is_write {
+                match self.store.try_lock(it.record, txn, LockMode::Exclusive, now) {
+                    Ok(()) => latched.push(it.record),
+                    Err(_) => {
+                        conflict = Some(it.record);
+                        break;
+                    }
+                }
+            }
+            if self.store.version(it.record) != it.version {
+                conflict = Some(it.record);
+                break;
+            }
+        }
+        let ok = conflict.is_none();
+        if !ok {
+            for rid in latched {
+                self.unlock_with_metrics(rid, txn, now);
+            }
+        }
+        // Latches persist on success until OccDecide arrives.
+        ctx.send(
+            src,
+            chiller_simnet::Verb::OneSided,
+            Msg::OccValidateResp { txn, ok, conflict },
+        );
+    }
+
+    /// Decide phase: apply + release on commit, release on abort.
+    pub(crate) fn handle_occ_decide(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        src: NodeId,
+        txn: TxnId,
+        commit: bool,
+        writes: Vec<WriteItem>,
+        latched: Vec<RecordId>,
+    ) {
+        if commit {
+            for w in &writes {
+                self.apply_write(w);
+            }
+        }
+        let now = ctx.now();
+        for rid in latched {
+            self.unlock_with_metrics(rid, txn, now);
+        }
+        ctx.send(src, chiller_simnet::Verb::OneSided, Msg::OccDecideAck { txn });
+    }
+}
+
+impl EngineActor {
+    /// Inner-region execution at the inner host (§3.3 step 4): acquire
+    /// local locks NO_WAIT, execute the inner ops start-to-finish with no
+    /// network stall, evaluate the inner-site guards, and unilaterally
+    /// commit — then fire-and-forget replicate (§5) and report back.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn handle_exec_inner(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        src: NodeId,
+        txn: TxnId,
+        proc_idx: usize,
+        params: Vec<chiller_common::value::Value>,
+        outer_outputs: Vec<(OpId, Row)>,
+        inner_ops: Vec<OpId>,
+        inner_guards: Vec<usize>,
+    ) {
+        use chiller_sproc::op::OpKind;
+        let proc = self.registry.get(proc_idx).clone();
+        let mut exec = chiller_sproc::ExecState::new(params, proc.num_ops());
+        for (op, row) in outer_outputs {
+            exec.set_output(op, row);
+        }
+        ctx.use_cpu(chiller_common::time::Duration::from_nanos(
+            self.config.engine.op_cpu_ns * inner_ops.len() as u64,
+        ));
+
+        let mut locked: Vec<RecordId> = Vec::new();
+        let mut fail: Option<bool> = None; // Some(retryable)
+        let mut writes: Vec<WriteItem> = Vec::new();
+        let mut produced: Vec<OpId> = Vec::new();
+
+        // Lock, read and *compute* every inner op in dependency order —
+        // later inner keys may derive from earlier inner outputs (e.g. the
+        // seat id from the flight read, the customer id from the order
+        // row), so outputs must materialize as we go. Writes are buffered
+        // and applied only after all locks and guards succeed.
+        let now = ctx.now();
+        for &id in &inner_ops {
+            let op = proc.op(id);
+            let key = op
+                .key
+                .resolve(&exec)
+                .expect("dependency graph guarantees inner keys resolve at the host");
+            let rid = RecordId::new(op.table, key);
+            debug_assert_eq!(
+                NodeId(self.store.partition.0),
+                self.node,
+                "inner host must own its partition"
+            );
+            let mode = Self::lock_mode_for(op);
+            if self.store.try_lock(rid, txn, mode, now).is_err() {
+                fail = Some(true);
+                break;
+            }
+            locked.push(rid);
+            let exists = self.store.exists(rid);
+            let expect_absent = matches!(op.kind, OpKind::Insert(_));
+            if exists == expect_absent {
+                fail = Some(false); // existence fault: final
+                break;
+            }
+            match &op.kind {
+                OpKind::Read { .. } => {
+                    let row = self.store.read(rid).expect("existence checked").clone();
+                    exec.set_output(id, row);
+                    produced.push(id);
+                }
+                OpKind::Update(apply) => {
+                    let raw = self.store.read(rid).expect("existence checked").clone();
+                    let new = apply(&raw, &exec);
+                    exec.set_output(id, new.clone());
+                    produced.push(id);
+                    writes.push(WriteItem { record: rid, kind: WriteKind::Put(new) });
+                }
+                OpKind::Insert(build) => {
+                    let row = build(&exec);
+                    writes.push(WriteItem { record: rid, kind: WriteKind::Insert(row) });
+                }
+                OpKind::Delete => {
+                    writes.push(WriteItem { record: rid, kind: WriteKind::Delete });
+                }
+            }
+        }
+
+        // Inner-site guards fold into the unilateral commit decision.
+        if fail.is_none() {
+            for gi in inner_guards {
+                let guard = &proc.guards[gi];
+                debug_assert!(
+                    guard.deps.iter().all(|d| exec.output(*d).is_some()),
+                    "inner guard deps must be available at the host"
+                );
+                if (guard.check)(&exec).is_err() {
+                    fail = Some(false);
+                    break;
+                }
+            }
+        }
+
+        let now = ctx.now();
+        match fail {
+            Some(retryable) => {
+                for rid in locked {
+                    self.unlock_with_metrics(rid, txn, now);
+                }
+                ctx.send(
+                    src,
+                    chiller_simnet::Verb::OneSided,
+                    Msg::InnerResult {
+                        txn,
+                        committed: false,
+                        outputs: Vec::new(),
+                        retryable,
+                    },
+                );
+            }
+            None => {
+                // Unilateral commit: apply, release (this is the shortened
+                // contention span), replicate fire-and-forget, reply.
+                for w in &writes {
+                    self.apply_write(w);
+                }
+                for rid in locked {
+                    self.unlock_with_metrics(rid, txn, now);
+                }
+                if !writes.is_empty() {
+                    let partition = self.store.partition;
+                    for replica in self.replica_nodes(partition) {
+                        ctx.send(
+                            replica,
+                            chiller_simnet::Verb::Rpc,
+                            Msg::Replicate {
+                                txn,
+                                partition,
+                                writes: writes.clone(),
+                                ack_coordinator: true,
+                            },
+                        );
+                    }
+                }
+                let outputs: Vec<(OpId, Row)> = produced
+                    .iter()
+                    .filter_map(|id| exec.output(*id).map(|r| (*id, r.clone())))
+                    .collect();
+                ctx.send(
+                    src,
+                    chiller_simnet::Verb::OneSided,
+                    Msg::InnerResult {
+                        txn,
+                        committed: true,
+                        outputs,
+                        retryable: false,
+                    },
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Which concurrency-control protocol an engine runs.
+
+/// The three execution models compared in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// Chiller's two-region execution (§3): hot records postponed into an
+    /// inner region committed unilaterally by the inner host; 2PL NO_WAIT
+    /// for the outer region. Transactions with no hot records fall back to
+    /// plain 2PL+2PC.
+    Chiller,
+    /// Traditional distributed 2PL with NO_WAIT and 2PC (prepare
+    /// piggybacked on the last execution round — Figure 3a).
+    TwoPhaseLocking,
+    /// Distributed optimistic concurrency control: lock-free versioned
+    /// reads, parallel validate-then-decide (MaaT-inspired).
+    Occ,
+}
+
+impl Protocol {
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Chiller => "chiller",
+            Protocol::TwoPhaseLocking => "2pl",
+            Protocol::Occ => "occ",
+        }
+    }
+}
+
+impl std::fmt::Display for Protocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(Protocol::Chiller.name(), "chiller");
+        assert_eq!(Protocol::TwoPhaseLocking.to_string(), "2pl");
+        assert_eq!(Protocol::Occ.name(), "occ");
+    }
+}

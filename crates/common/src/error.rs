@@ -1,0 +1,92 @@
+//! Error types shared across the workspace.
+
+use crate::ids::{RecordId, TxnId};
+use std::fmt;
+
+/// Unified error type for storage, execution and partitioning failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChillerError {
+    /// A lock request failed under the NO_WAIT policy; the transaction must
+    /// abort (and typically retries). Carries the record that conflicted.
+    LockConflict { txn: TxnId, record: RecordId },
+    /// OCC validation detected a conflicting concurrent access.
+    ValidationFailed { txn: TxnId, record: RecordId },
+    /// A record expected to exist was not found.
+    RecordNotFound(RecordId),
+    /// A record being inserted already exists.
+    DuplicateKey(RecordId),
+    /// A stored-procedure-level integrity check failed (e.g. insufficient
+    /// balance), producing a *logic abort* that is not retried.
+    LogicAbort { txn: TxnId, reason: &'static str },
+    /// The stored procedure definition is internally inconsistent
+    /// (e.g. cyclic dependency graph, reference to an undefined op output).
+    InvalidProcedure(String),
+    /// Partitioning failed (e.g. balance constraint unsatisfiable).
+    Partitioning(String),
+    /// Configuration error detected while building a cluster.
+    Config(String),
+}
+
+impl fmt::Display for ChillerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChillerError::LockConflict { txn, record } => {
+                write!(f, "{txn}: lock conflict on {record} (NO_WAIT abort)")
+            }
+            ChillerError::ValidationFailed { txn, record } => {
+                write!(f, "{txn}: OCC validation failed on {record}")
+            }
+            ChillerError::RecordNotFound(r) => write!(f, "record not found: {r}"),
+            ChillerError::DuplicateKey(r) => write!(f, "duplicate key: {r}"),
+            ChillerError::LogicAbort { txn, reason } => {
+                write!(f, "{txn}: logic abort: {reason}")
+            }
+            ChillerError::InvalidProcedure(m) => write!(f, "invalid procedure: {m}"),
+            ChillerError::Partitioning(m) => write!(f, "partitioning error: {m}"),
+            ChillerError::Config(m) => write!(f, "config error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ChillerError {}
+
+pub type Result<T> = std::result::Result<T, ChillerError>;
+
+impl ChillerError {
+    /// Whether a transaction failing with this error should be retried by
+    /// the closed-loop driver. Lock conflicts and validation failures are
+    /// transient; logic aborts are final (TPC-C's 1% rollback NewOrders).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ChillerError::LockConflict { .. } | ChillerError::ValidationFailed { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{NodeId, TableId};
+
+    fn rid() -> RecordId {
+        RecordId::new(TableId(1), 9)
+    }
+
+    #[test]
+    fn retryability() {
+        let txn = TxnId::new(NodeId(0), 1);
+        assert!(ChillerError::LockConflict { txn, record: rid() }.is_retryable());
+        assert!(ChillerError::ValidationFailed { txn, record: rid() }.is_retryable());
+        assert!(!ChillerError::LogicAbort { txn, reason: "no stock" }.is_retryable());
+        assert!(!ChillerError::RecordNotFound(rid()).is_retryable());
+    }
+
+    #[test]
+    fn display_contains_context() {
+        let txn = TxnId::new(NodeId(2), 7);
+        let msg = ChillerError::LockConflict { txn, record: rid() }.to_string();
+        assert!(msg.contains("txn2.7"));
+        assert!(msg.contains("tbl1#9"));
+    }
+}

@@ -1,0 +1,342 @@
+//! Metric primitives: log-bucketed latency histograms and labelled counters.
+//!
+//! The transaction engines record per-transaction latency, per-record
+//! contention spans, commit/abort counts per transaction type, and the
+//! distributed-transaction ratio. The experiment harness aggregates these
+//! into the rows the paper's figures report.
+
+use crate::time::Duration;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Latency histogram with logarithmic buckets (HdrHistogram-style, base-2
+/// buckets with 16 linear sub-buckets), covering 1ns .. ~18s.
+///
+/// Recording is O(1); quantile queries are O(buckets). Good-enough fidelity
+/// (<= 6.25% relative error) for the latency distributions reported here.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: u64,
+    min: u64,
+}
+
+const SUB_BUCKETS: usize = 16;
+const SUB_BITS: u32 = 4; // log2(SUB_BUCKETS)
+const NUM_BUCKETS: usize = (64 - SUB_BITS as usize) * SUB_BUCKETS;
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    #[inline]
+    fn bucket_index(value: u64) -> usize {
+        let v = value.max(1);
+        let msb = 63 - v.leading_zeros();
+        if msb < SUB_BITS {
+            return v as usize;
+        }
+        let exp = msb - SUB_BITS;
+        let sub = (v >> exp) as usize & (SUB_BUCKETS - 1);
+        ((exp + 1) as usize) * SUB_BUCKETS + sub
+    }
+
+    /// Representative (upper-bound) value of a bucket index.
+    fn bucket_value(index: usize) -> u64 {
+        if index < SUB_BUCKETS {
+            return index as u64;
+        }
+        let exp = (index / SUB_BUCKETS - 1) as u32;
+        let sub = (index % SUB_BUCKETS) as u64;
+        ((SUB_BUCKETS as u64) + sub) << exp
+    }
+
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.max = self.max.max(value);
+        self.min = self.min.min(value);
+    }
+
+    #[inline]
+    pub fn record_duration(&mut self, d: Duration) {
+        self.record(d.as_nanos());
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_value(i).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+}
+
+/// Commit/abort bookkeeping for one transaction type.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TxnTypeStats {
+    pub commits: u64,
+    /// Transient aborts (lock conflict / validation failure), i.e. the aborts
+    /// the paper's abort-rate figures count.
+    pub aborts: u64,
+    /// Final logic aborts (e.g. TPC-C's intentional 1% NewOrder rollbacks);
+    /// excluded from contention abort rates.
+    pub logic_aborts: u64,
+    /// Commits whose execution touched more than one partition.
+    pub distributed_commits: u64,
+}
+
+impl TxnTypeStats {
+    /// Abort rate as defined in the paper: aborts / (aborts + commits).
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.aborts + self.commits;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / attempts as f64
+        }
+    }
+
+    pub fn distributed_ratio(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.distributed_commits as f64 / self.commits as f64
+        }
+    }
+
+    pub fn merge(&mut self, o: &TxnTypeStats) {
+        self.commits += o.commits;
+        self.aborts += o.aborts;
+        self.logic_aborts += o.logic_aborts;
+        self.distributed_commits += o.distributed_commits;
+    }
+}
+
+/// Aggregated run metrics keyed by transaction-type name.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MetricSet {
+    pub per_type: BTreeMap<String, TxnTypeStats>,
+    pub latency: Histogram,
+    /// Contention span (lock hold time) of records flagged hot.
+    pub hot_contention_span: Histogram,
+    /// Contention span of all other records.
+    pub cold_contention_span: Histogram,
+}
+
+impl MetricSet {
+    pub fn new() -> Self {
+        MetricSet {
+            per_type: BTreeMap::new(),
+            latency: Histogram::new(),
+            hot_contention_span: Histogram::new(),
+            cold_contention_span: Histogram::new(),
+        }
+    }
+
+    pub fn type_stats(&mut self, name: &str) -> &mut TxnTypeStats {
+        self.per_type.entry(name.to_owned()).or_default()
+    }
+
+    pub fn total_commits(&self) -> u64 {
+        self.per_type.values().map(|s| s.commits).sum()
+    }
+
+    pub fn total_aborts(&self) -> u64 {
+        self.per_type.values().map(|s| s.aborts).sum()
+    }
+
+    pub fn overall_abort_rate(&self) -> f64 {
+        let commits = self.total_commits();
+        let aborts = self.total_aborts();
+        if commits + aborts == 0 {
+            0.0
+        } else {
+            aborts as f64 / (commits + aborts) as f64
+        }
+    }
+
+    pub fn overall_distributed_ratio(&self) -> f64 {
+        let commits = self.total_commits();
+        if commits == 0 {
+            return 0.0;
+        }
+        let dist: u64 = self.per_type.values().map(|s| s.distributed_commits).sum();
+        dist as f64 / commits as f64
+    }
+
+    pub fn merge(&mut self, other: &MetricSet) {
+        for (k, v) in &other.per_type {
+            self.per_type.entry(k.clone()).or_default().merge(v);
+        }
+        self.latency.merge(&other.latency);
+        self.hot_contention_span.merge(&other.hot_contention_span);
+        self.cold_contention_span.merge(&other.cold_contention_span);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_basic_stats() {
+        let mut h = Histogram::new();
+        for v in [10, 20, 30, 40, 50] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.mean(), 30.0);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 50);
+    }
+
+    #[test]
+    fn histogram_quantiles_within_error() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let p50 = h.p50() as f64;
+        assert!((p50 - 5_000.0).abs() / 5_000.0 < 0.08, "p50={p50}");
+        let p99 = h.p99() as f64;
+        assert!((p99 - 9_900.0).abs() / 9_900.0 < 0.08, "p99={p99}");
+    }
+
+    #[test]
+    fn histogram_bucket_roundtrip_monotone() {
+        let mut last = 0;
+        for v in [1u64, 2, 15, 16, 17, 100, 1_000, 123_456, u32::MAX as u64] {
+            let idx = Histogram::bucket_index(v);
+            assert!(idx >= last, "bucket index must be monotone in value");
+            last = idx;
+            let rep = Histogram::bucket_value(idx);
+            // Representative within 1/16 relative error.
+            assert!(rep as f64 >= v as f64 * 0.9, "v={v} rep={rep}");
+            assert!(rep as f64 <= v as f64 * 1.07 + 1.0, "v={v} rep={rep}");
+        }
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(5);
+        b.record(15);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 5);
+        assert_eq!(a.max(), 15);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn txn_stats_rates() {
+        let s = TxnTypeStats {
+            commits: 75,
+            aborts: 25,
+            logic_aborts: 3,
+            distributed_commits: 15,
+        };
+        assert!((s.abort_rate() - 0.25).abs() < 1e-12);
+        assert!((s.distributed_ratio() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metric_set_aggregation() {
+        let mut m = MetricSet::new();
+        m.type_stats("NewOrder").commits = 10;
+        m.type_stats("NewOrder").aborts = 10;
+        m.type_stats("Payment").commits = 30;
+        assert_eq!(m.total_commits(), 40);
+        assert!((m.overall_abort_rate() - 0.2).abs() < 1e-12);
+
+        let mut other = MetricSet::new();
+        other.type_stats("Payment").commits = 5;
+        m.merge(&other);
+        assert_eq!(m.per_type["Payment"].commits, 35);
+    }
+}

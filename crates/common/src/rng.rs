@@ -1,0 +1,222 @@
+//! Deterministic random utilities: seeded RNG construction, a Zipf sampler
+//! (used to synthesize the Instacart-like skew) and TPC-C's `NURand`.
+//!
+//! Every source of randomness in the workspace flows from an explicit seed so
+//! the whole simulation — data generation, transaction mixes, conflicts — is
+//! reproducible byte-for-byte.
+
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Build a seeded RNG. Sub-streams derive their own seeds via [`derive_seed`]
+/// so adding a consumer never perturbs existing streams.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derive an independent stream seed from a base seed and a stream label.
+///
+/// Uses SplitMix64 finalization, which is enough mixing to decorrelate
+/// streams for simulation purposes.
+pub fn derive_seed(base: u64, stream: u64) -> u64 {
+    let mut z = base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Zipf-distributed sampler over `{0, 1, .., n-1}` with exponent `theta`.
+///
+/// Rank 0 is the most popular element. Uses the inverse-CDF method over a
+/// precomputed cumulative table: O(n) build, O(log n) sample. The workload
+/// generators build one sampler per table so the cost is paid once.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Create a sampler over `n` items with skew `theta` (`theta = 0` is
+    /// uniform; common benchmark values are 0.8–1.2).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `theta < 0`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf over empty domain");
+        assert!(theta >= 0.0, "negative Zipf exponent");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point rounding leaving the last entry below 1.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of items in the domain.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Probability mass of rank `i`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+
+    /// Sample a rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first rank whose cdf >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+impl Distribution<usize> for Zipf {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        Zipf::sample(self, rng)
+    }
+}
+
+/// TPC-C `NURand(A, x, y)` non-uniform random, with the standard constant C
+/// fixed per instantiation (spec §2.1.6).
+#[derive(Debug, Clone, Copy)]
+pub struct NuRand {
+    a: u64,
+    c: u64,
+    x: u64,
+    y: u64,
+}
+
+impl NuRand {
+    pub fn new(a: u64, x: u64, y: u64, c: u64) -> Self {
+        NuRand { a, c, x, y }
+    }
+
+    /// Standard parameters for customer ids: `NURand(1023, 1, 3000)`.
+    pub fn customer_id(c: u64) -> Self {
+        NuRand::new(1023, 1, 3000, c)
+    }
+
+    /// Standard parameters for item ids: `NURand(8191, 1, 100000)`.
+    pub fn item_id(c: u64) -> Self {
+        NuRand::new(8191, 1, 100_000, c)
+    }
+
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let r1 = rng.gen_range(0..=self.a);
+        let r2 = rng.gen_range(self.x..=self.y);
+        (((r1 | r2) + self.c) % (self.y - self.x + 1)) + self.x
+    }
+}
+
+/// Uniformly pick one element of a non-empty slice.
+pub fn pick<'a, T, R: Rng + ?Sized>(rng: &mut R, items: &'a [T]) -> &'a T {
+    &items[rng.gen_range(0..items.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let mut a = seeded(42);
+        let mut b = seeded(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn derived_streams_differ() {
+        assert_ne!(derive_seed(1, 0), derive_seed(1, 1));
+        assert_ne!(derive_seed(1, 0), derive_seed(2, 0));
+    }
+
+    #[test]
+    fn zipf_uniform_when_theta_zero() {
+        let z = Zipf::new(4, 0.0);
+        for i in 0..4 {
+            assert!((z.pmf(i) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_rank0_most_popular() {
+        let z = Zipf::new(100, 1.0);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(50));
+        let total: f64 = (0..100).map(|i| z.pmf(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_empirical_matches_pmf() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = seeded(7);
+        let mut counts = [0usize; 10];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for i in 0..10 {
+            let emp = counts[i] as f64 / n as f64;
+            assert!(
+                (emp - z.pmf(i)).abs() < 0.01,
+                "rank {i}: emp {emp} vs pmf {}",
+                z.pmf(i)
+            );
+        }
+    }
+
+    #[test]
+    fn nurand_in_range() {
+        let nu = NuRand::customer_id(123);
+        let mut rng = seeded(3);
+        for _ in 0..10_000 {
+            let v = nu.sample(&mut rng);
+            assert!((1..=3000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn nurand_is_skewed() {
+        // NURand concentrates mass; verify that the most frequent value
+        // appears far above the uniform expectation.
+        let nu = NuRand::item_id(7);
+        let mut rng = seeded(9);
+        let mut counts = std::collections::HashMap::new();
+        let n = 100_000;
+        for _ in 0..n {
+            *counts.entry(nu.sample(&mut rng)).or_insert(0usize) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        assert!(max as f64 > 2.0 * (n as f64 / 100_000.0));
+    }
+
+    #[test]
+    fn pick_covers_all() {
+        let mut rng = seeded(5);
+        let items = [1, 2, 3];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(*pick(&mut rng, &items));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}

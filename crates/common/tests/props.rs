@@ -1,0 +1,56 @@
+//! Property tests for the foundation types.
+
+use chiller_common::metrics::Histogram;
+use chiller_common::rng::{seeded, Zipf};
+use proptest::prelude::*;
+
+proptest! {
+    /// The Zipf sampler always returns in-domain ranks and its CDF is
+    /// monotone (pmf non-negative, sums to 1).
+    #[test]
+    fn zipf_sound(n in 1usize..500, theta in 0.0f64..2.0, seed in any::<u64>()) {
+        let z = Zipf::new(n, theta);
+        let mut rng = seeded(seed);
+        for _ in 0..64 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+        let total: f64 = (0..n).map(|i| z.pmf(i)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        for i in 1..n {
+            prop_assert!(z.pmf(i) <= z.pmf(i - 1) + 1e-12, "pmf must be non-increasing");
+        }
+    }
+
+    /// Histogram quantiles are bounded by min/max and ordered; mean lies
+    /// within [min, max].
+    #[test]
+    fn histogram_quantiles_ordered(values in prop::collection::vec(1u64..1_000_000, 1..200)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let (min, max) = (h.min(), h.max());
+        prop_assert!(h.p50() >= min && h.p50() <= max);
+        prop_assert!(h.p99() >= h.p50());
+        prop_assert!(h.mean() >= min as f64 - 1e-9 && h.mean() <= max as f64 + 1e-9);
+        prop_assert_eq!(h.count(), values.len() as u64);
+    }
+
+    /// Merging histograms equals recording the union.
+    #[test]
+    fn histogram_merge_is_union(
+        a in prop::collection::vec(1u64..100_000, 0..100),
+        b in prop::collection::vec(1u64..100_000, 0..100),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hu = Histogram::new();
+        for &v in &a { ha.record(v); hu.record(v); }
+        for &v in &b { hb.record(v); hu.record(v); }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hu.count());
+        prop_assert_eq!(ha.max(), hu.max());
+        prop_assert_eq!(ha.p50(), hu.p50());
+        prop_assert_eq!(ha.p99(), hu.p99());
+    }
+}

@@ -1,0 +1,250 @@
+//! Cluster construction and execution.
+
+use chiller_cc::engine::{EngineActor, EngineParams};
+use chiller_cc::input::{InputSource, ProcRegistry};
+use chiller_cc::msg::Msg;
+use chiller_cc::Protocol;
+use chiller_common::config::SimConfig;
+use chiller_common::error::{ChillerError, Result};
+use chiller_common::ids::{NodeId, PartitionId, RecordId};
+use chiller_common::time::{Duration, SimTime};
+use chiller_common::value::Row;
+use chiller_simnet::Simulation;
+use chiller_sproc::Procedure;
+use chiller_storage::placement::{HashPlacement, Placement};
+use chiller_storage::schema::Schema;
+use chiller_storage::store::PartitionStore;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use crate::report::RunReport;
+
+/// How long to run a workload: a warm-up window whose metrics are
+/// discarded, then a measured window.
+#[derive(Debug, Clone, Copy)]
+pub struct RunSpec {
+    pub warmup: Duration,
+    pub measure: Duration,
+}
+
+impl RunSpec {
+    pub fn new(warmup: Duration, measure: Duration) -> Self {
+        RunSpec { warmup, measure }
+    }
+
+    /// Convenience: warm-up and measurement in milliseconds of virtual time.
+    pub fn millis(warmup_ms: u64, measure_ms: u64) -> Self {
+        RunSpec {
+            warmup: Duration::from_millis(warmup_ms),
+            measure: Duration::from_millis(measure_ms),
+        }
+    }
+}
+
+/// Builder for a simulated cluster: one node per partition, each running
+/// one execution engine (the paper's one-engine-per-core deployment).
+pub struct ClusterBuilder {
+    schema: Schema,
+    nodes: usize,
+    protocol: Protocol,
+    config: SimConfig,
+    registry: ProcRegistry,
+    placement: Option<Arc<dyn Placement + Send + Sync>>,
+    hot: HashSet<RecordId>,
+    records: Vec<(RecordId, Row)>,
+    source_factory: Option<Box<dyn Fn(NodeId) -> Box<dyn InputSource>>>,
+}
+
+impl ClusterBuilder {
+    pub fn new(schema: Schema, nodes: usize) -> Self {
+        assert!(nodes >= 1);
+        ClusterBuilder {
+            schema,
+            nodes,
+            protocol: Protocol::Chiller,
+            config: SimConfig::default(),
+            registry: ProcRegistry::new(),
+            placement: None,
+            hot: HashSet::new(),
+            records: Vec::new(),
+            source_factory: None,
+        }
+    }
+
+    pub fn protocol(&mut self, p: Protocol) -> &mut Self {
+        self.protocol = p;
+        self
+    }
+
+    pub fn config(&mut self, c: SimConfig) -> &mut Self {
+        self.config = c;
+        self
+    }
+
+    /// Register a stored procedure; returns the id used in [`chiller_cc::input::TxnInput`].
+    pub fn register_proc(&mut self, p: Procedure) -> usize {
+        self.registry.register(p)
+    }
+
+    /// Record placement (defaults to hash over all partitions).
+    pub fn placement(&mut self, p: Arc<dyn Placement + Send + Sync>) -> &mut Self {
+        self.placement = Some(p);
+        self
+    }
+
+    /// Mark records as hot (the run-time decision consults this set; it is
+    /// normally derived from the contention-likelihood threshold, §4.4).
+    pub fn hot_records(&mut self, hot: impl IntoIterator<Item = RecordId>) -> &mut Self {
+        self.hot.extend(hot);
+        self
+    }
+
+    /// Stage initial records (distributed by the placement at build time).
+    pub fn load(&mut self, records: impl IntoIterator<Item = (RecordId, Row)>) -> &mut Self {
+        self.records.extend(records);
+        self
+    }
+
+    /// Provide each node's transaction input stream.
+    pub fn source_per_node(
+        &mut self,
+        f: impl Fn(NodeId) -> Box<dyn InputSource> + 'static,
+    ) -> &mut Self {
+        self.source_factory = Some(Box::new(f));
+        self
+    }
+
+    pub fn build(self) -> Result<Cluster> {
+        let source_factory = self
+            .source_factory
+            .ok_or_else(|| ChillerError::Config("no input source configured".into()))?;
+        if self.registry.is_empty() {
+            return Err(ChillerError::Config("no stored procedures registered".into()));
+        }
+        let placement: Arc<dyn Placement + Send + Sync> = self
+            .placement
+            .unwrap_or_else(|| Arc::new(HashPlacement::new(self.nodes as u32)));
+        let registry = Arc::new(self.registry);
+        let hot = Arc::new(self.hot);
+
+        // Primary stores.
+        let mut primaries: Vec<PartitionStore> = (0..self.nodes)
+            .map(|p| PartitionStore::new(PartitionId(p as u32), self.schema.clone()))
+            .collect();
+        // Replica stores: node n holds replicas of partitions (n - i) mod N.
+        let replica_count = self
+            .config
+            .replication
+            .replicas()
+            .min(self.nodes.saturating_sub(1));
+        let mut replicas: Vec<HashMap<PartitionId, PartitionStore>> = (0..self.nodes)
+            .map(|n| {
+                (1..=replica_count)
+                    .map(|i| {
+                        let p = PartitionId(
+                            ((n + self.nodes - i) % self.nodes) as u32,
+                        );
+                        (p, PartitionStore::new(p, self.schema.clone()))
+                    })
+                    .collect()
+            })
+            .collect();
+
+        for (rid, row) in self.records {
+            let p = placement.partition_of(rid);
+            if p.idx() >= self.nodes {
+                return Err(ChillerError::Config(format!(
+                    "placement sent {rid} to partition {p} but the cluster has {} nodes",
+                    self.nodes
+                )));
+            }
+            primaries[p.idx()].load(rid, row.clone());
+            for i in 1..=replica_count {
+                let replica_node = (p.idx() + i) % self.nodes;
+                replicas[replica_node]
+                    .get_mut(&p)
+                    .expect("replica store allocated")
+                    .load(rid, row.clone());
+            }
+        }
+
+        let mut actors = Vec::with_capacity(self.nodes);
+        for (n, (store, reps)) in primaries.into_iter().zip(replicas).enumerate() {
+            let node = NodeId(n as u32);
+            actors.push(EngineActor::new(EngineParams {
+                node,
+                num_nodes: self.nodes,
+                protocol: self.protocol,
+                config: self.config.clone(),
+                registry: registry.clone(),
+                placement: placement.clone(),
+                hot: hot.clone(),
+                store,
+                replicas: reps,
+                source: source_factory(node),
+            }));
+        }
+        Ok(Cluster {
+            sim: Simulation::new(actors, self.config.network.clone()),
+        })
+    }
+}
+
+/// A built cluster ready to run.
+pub struct Cluster {
+    sim: Simulation<Msg, EngineActor>,
+}
+
+impl Cluster {
+    /// Run warm-up (metrics discarded) then the measured window; report.
+    pub fn run(&mut self, spec: RunSpec) -> RunReport {
+        let start = self.sim.now();
+        self.sim.run_until(start + spec.warmup);
+        for engine in self.sim.actors_mut() {
+            engine.reset_metrics();
+        }
+        let measure_start = self.sim.now();
+        self.sim.run_until(measure_start + spec.measure);
+        let elapsed = self.sim.now() - measure_start;
+        RunReport::collect(
+            elapsed,
+            self.sim.stats(),
+            self.sim.actors().iter().map(EngineActor::report).collect(),
+        )
+    }
+
+    /// Continue running without resetting metrics (incremental windows).
+    pub fn run_more(&mut self, d: Duration) -> RunReport {
+        let start = self.sim.now();
+        self.sim.run_until(start + d);
+        let elapsed = self.sim.now() - start;
+        RunReport::collect(
+            elapsed,
+            self.sim.stats(),
+            self.sim.actors().iter().map(EngineActor::report).collect(),
+        )
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Engine access for invariant checks in tests.
+    pub fn engines(&self) -> &[EngineActor] {
+        self.sim.actors()
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.sim.num_nodes()
+    }
+
+    /// Stop all engines from pulling new inputs and run the simulation to
+    /// quiescence, so every in-flight transaction completes (or finally
+    /// aborts) and all locks are released. Used before invariant checks.
+    pub fn quiesce(&mut self) {
+        for engine in self.sim.actors_mut() {
+            engine.stop_accepting();
+        }
+        self.sim.run_to_quiescence(u64::MAX);
+    }
+}

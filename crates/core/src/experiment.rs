@@ -1,0 +1,80 @@
+//! Parallel sweep driver: fan independent simulation runs across OS
+//! threads.
+//!
+//! Each sweep point builds its own deterministic cluster, so points are
+//! embarrassingly parallel. The simulator itself stays single-threaded,
+//! keeping every individual run bit-reproducible.
+
+use std::sync::mpsc;
+use std::thread;
+
+/// Run `f(point)` for every point, in parallel, preserving input order in
+/// the output. `f` must be deterministic per point.
+pub fn sweep<P, R, F>(points: Vec<P>, f: F) -> Vec<R>
+where
+    P: Send + 'static,
+    R: Send + 'static,
+    F: Fn(P) -> R + Send + Sync + 'static,
+{
+    let n = points.len();
+    let f = std::sync::Arc::new(f);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let max_threads = thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
+
+    // Simple bounded fan-out: chunk the points across up to
+    // `max_threads` workers.
+    let mut handles = Vec::new();
+    let mut queue: Vec<(usize, P)> = points.into_iter().enumerate().collect();
+    let chunk = queue.len().div_ceil(max_threads.max(1)).max(1);
+    while !queue.is_empty() {
+        let batch: Vec<(usize, P)> = queue
+            .drain(..chunk.min(queue.len()))
+            .collect();
+        let tx = tx.clone();
+        let f = f.clone();
+        handles.push(thread::spawn(move || {
+            for (i, p) in batch {
+                let r = f(p);
+                // Receiver only disconnects on panic; propagate by ignoring.
+                let _ = tx.send((i, r));
+            }
+        }));
+    }
+    drop(tx);
+
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in rx {
+        out[i] = Some(r);
+    }
+    for h in handles {
+        h.join().expect("sweep worker panicked");
+    }
+    out.into_iter()
+        .map(|r| r.expect("every point reported"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_preserves_order() {
+        let points: Vec<u64> = (0..37).collect();
+        let results = sweep(points.clone(), |p| p * 2);
+        assert_eq!(results, points.iter().map(|p| p * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sweep_empty() {
+        let results: Vec<u64> = sweep(Vec::<u64>::new(), |p| p);
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn sweep_single() {
+        assert_eq!(sweep(vec![5u32], |p| p + 1), vec![6]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Run reports: the numbers the paper's figures plot.
+
+use chiller_cc::engine::EngineReport;
+use chiller_common::metrics::MetricSet;
+use chiller_common::time::Duration;
+use chiller_simnet::NetStats;
+
+/// Aggregated outcome of a measured window.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Virtual time measured.
+    pub elapsed: Duration,
+    /// Merged metrics across engines.
+    pub metrics: MetricSet,
+    /// Network counters for the whole run (including warm-up).
+    pub net: NetStats,
+    /// Per-node breakdowns.
+    pub per_node: Vec<EngineReport>,
+}
+
+impl RunReport {
+    pub(crate) fn collect(
+        elapsed: Duration,
+        net: NetStats,
+        per_node: Vec<EngineReport>,
+    ) -> RunReport {
+        let mut metrics = MetricSet::new();
+        for r in &per_node {
+            metrics.merge(&r.metrics);
+        }
+        RunReport {
+            elapsed,
+            metrics,
+            net,
+            per_node,
+        }
+    }
+
+    pub fn total_commits(&self) -> u64 {
+        self.metrics.total_commits()
+    }
+
+    pub fn total_aborts(&self) -> u64 {
+        self.metrics.total_aborts()
+    }
+
+    /// Committed transactions per second of virtual time.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_nanos() as f64 / 1e9;
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.total_commits() as f64 / secs
+        }
+    }
+
+    /// The paper's abort-rate metric: aborts / (aborts + commits).
+    pub fn abort_rate(&self) -> f64 {
+        self.metrics.overall_abort_rate()
+    }
+
+    /// Abort rate of one transaction type (Figure 9c).
+    pub fn abort_rate_of(&self, name: &str) -> f64 {
+        self.metrics
+            .per_type
+            .get(name)
+            .map(|s| s.abort_rate())
+            .unwrap_or(0.0)
+    }
+
+    /// Fraction of committed transactions spanning >1 partition (Figure 8).
+    pub fn distributed_ratio(&self) -> f64 {
+        self.metrics.overall_distributed_ratio()
+    }
+
+    /// Mean committed-transaction latency in microseconds.
+    pub fn mean_latency_us(&self) -> f64 {
+        self.metrics.latency.mean() / 1_000.0
+    }
+
+    pub fn p99_latency_us(&self) -> f64 {
+        self.metrics.latency.p99() as f64 / 1_000.0
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:.0} txn/s, abort rate {:.3}, distributed {:.2}, mean latency {:.1}us (p99 {:.1}us), commits {}",
+            self.throughput(),
+            self.abort_rate(),
+            self.distributed_ratio(),
+            self.mean_latency_us(),
+            self.p99_latency_us(),
+            self.total_commits(),
+        )
+    }
+}

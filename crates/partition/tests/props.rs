@@ -1,0 +1,83 @@
+//! Property tests for the partitioner and contention model.
+
+use chiller_partition::graph::Graph;
+use chiller_partition::likelihood::contention_likelihood;
+use chiller_partition::metis::MetisLike;
+use proptest::prelude::*;
+
+/// Random sparse graph with unit-ish vertex weights.
+fn graph_strategy() -> impl Strategy<Value = Graph> {
+    (2usize..60, any::<u64>()).prop_map(|(n, seed)| {
+        let mut g = Graph::with_vertices(n);
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for v in 0..n {
+            g.vwgt[v] = 1.0 + (next() % 3) as f64;
+        }
+        let edges = n * 2;
+        for _ in 0..edges {
+            let a = (next() % n as u64) as u32;
+            let b = (next() % n as u64) as u32;
+            if a != b {
+                g.add_edge(a, b, 1.0 + (next() % 5) as f64);
+            }
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every vertex is assigned to a valid partition, and the reported cut
+    /// and loads are consistent with the assignment.
+    #[test]
+    fn partitioner_output_consistent(g in graph_strategy(), k in 2u32..5) {
+        let res = MetisLike::new(k, 0.10, 7).partition(&g);
+        prop_assert_eq!(res.assignment.len(), g.num_vertices());
+        prop_assert!(res.assignment.iter().all(|&p| p < k));
+        prop_assert!((res.cut - g.edge_cut(&res.assignment)).abs() < 1e-6);
+        let total: f64 = res.loads.iter().sum();
+        prop_assert!((total - g.total_vertex_weight()).abs() < 1e-6);
+        prop_assert!(res.cut >= 0.0);
+    }
+
+    /// Balance: no partition exceeds the ceiling by more than one maximal
+    /// vertex (the strongest guarantee unit moves can give).
+    #[test]
+    fn partitioner_balance_bounded(g in graph_strategy(), k in 2u32..5) {
+        let res = MetisLike::new(k, 0.10, 13).partition(&g);
+        let mu = g.total_vertex_weight() / k as f64;
+        let max_vwgt = g.vwgt.iter().cloned().fold(0.0, f64::max);
+        let ceiling = (1.10 * mu) + max_vwgt + 1e-9;
+        for (p, &load) in res.loads.iter().enumerate() {
+            prop_assert!(load <= ceiling, "partition {p} load {load} > {ceiling}");
+        }
+    }
+
+    /// Determinism: same seed, same result.
+    #[test]
+    fn partitioner_deterministic(g in graph_strategy(), k in 2u32..5, seed in any::<u64>()) {
+        let a = MetisLike::new(k, 0.10, seed).partition(&g);
+        let b = MetisLike::new(k, 0.10, seed).partition(&g);
+        prop_assert_eq!(a.assignment, b.assignment);
+    }
+
+    /// Contention likelihood: bounded in [0,1], zero without writes, and
+    /// monotone in both rates.
+    #[test]
+    fn likelihood_properties(lw in 0.0f64..50.0, lr in 0.0f64..50.0, d in 0.001f64..5.0) {
+        let p = contention_likelihood(lw, lr);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert_eq!(contention_likelihood(0.0, lr), 0.0);
+        prop_assert!(contention_likelihood(lw + d, lr) >= p - 1e-12);
+        if lw > 0.0 {
+            prop_assert!(contention_likelihood(lw, lr + d) >= p - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Property tests for the region decision (§3.3 legality invariants).
+
+use chiller_common::ids::{OpId, PartitionId, TableId};
+use chiller_sproc::{decide_regions, ProcedureBuilder};
+use proptest::prelude::*;
+
+/// A chain procedure: op 0 reads by param; each later op keys off its
+/// predecessor (pk-chain) with probability, else an independent param read.
+fn chain_proc(chained: &[bool]) -> chiller_sproc::Procedure {
+    let mut b = ProcedureBuilder::new("chain").read_for_update(TableId(1), 0, "head");
+    for (i, &link) in chained.iter().enumerate() {
+        let prev = OpId(i as u16);
+        if link {
+            b = b.read_with_key_from(TableId(1), &[prev], "chained", move |st| {
+                st.output_req(prev)[0].as_i64() as u64
+            });
+        } else {
+            b = b.read_for_update(TableId(1), 0, "free");
+        }
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    /// Decision invariants, for arbitrary chains / partition maps / hot
+    /// flags:
+    /// 1. inner ∪ outer is a partition of all ops;
+    /// 2. every inner op's record lives on the inner host;
+    /// 3. every pk-child of an inner op is also inner (the unilateral
+    ///    commit legality rule);
+    /// 4. no inner region without a hot inner op.
+    #[test]
+    fn decision_invariants(
+        chained in prop::collection::vec(any::<bool>(), 0..6),
+        parts in prop::collection::vec(prop::option::of(0u32..3), 7),
+        hot in prop::collection::vec(any::<bool>(), 7),
+    ) {
+        let p = chain_proc(&chained);
+        let n = p.num_ops();
+        let op_parts: Vec<Option<PartitionId>> =
+            parts.iter().take(n).map(|o| o.map(PartitionId)).collect();
+        let op_hot: Vec<bool> = hot.iter().take(n).copied().collect();
+        let split = decide_regions(&p, &op_parts, &op_hot);
+
+        // 1: partition of ops.
+        let mut all: Vec<OpId> = split.inner_ops.iter().chain(&split.outer_ops).copied().collect();
+        all.sort();
+        prop_assert_eq!(all, (0..n as u16).map(OpId).collect::<Vec<_>>());
+
+        if let Some(host) = split.inner_host {
+            // 2: inner ops on the host partition.
+            for op in &split.inner_ops {
+                prop_assert_eq!(op_parts[op.idx()], Some(host));
+            }
+            // 3: pk-closure.
+            for op in &split.inner_ops {
+                for child in &p.graph.pk_children[op.idx()] {
+                    prop_assert!(
+                        split.inner_ops.contains(child),
+                        "pk-child {child} of inner {op} escaped the inner region"
+                    );
+                }
+            }
+            // 4: at least one hot inner op.
+            prop_assert!(split.inner_ops.iter().any(|o| op_hot[o.idx()]));
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Shared/exclusive lock words with NO_WAIT semantics.
+//!
+//! Each bucket embeds one [`LockState`] (§6: "each bucket encapsulates its
+//! own lock"). Under NO_WAIT, a conflicting request fails immediately and the
+//! requesting transaction aborts — which makes deadlock impossible (§3.1).
+//!
+//! The lock also remembers *when* each holder acquired it so the storage
+//! layer can report per-record **contention spans** (the thick blue lines of
+//! the paper's Figure 3).
+
+use chiller_common::ids::TxnId;
+use chiller_common::time::{Duration, SimTime};
+
+/// Requested access mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockMode {
+    Shared,
+    Exclusive,
+}
+
+/// Embedded lock word. Holder lists are tiny (NO_WAIT keeps queues empty, and
+/// shared holder counts are bounded by engine concurrency), so a `Vec` with
+/// linear scans beats a hash set here.
+#[derive(Debug, Clone, Default)]
+pub struct LockState {
+    shared: Vec<(TxnId, SimTime)>,
+    exclusive: Option<(TxnId, SimTime)>,
+}
+
+/// Outcome of a release, reporting how long the lock was held — the record's
+/// contention span contribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Released {
+    pub held_for: Duration,
+    pub mode: LockMode,
+}
+
+impl LockState {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True if no transaction holds the lock in any mode.
+    pub fn is_free(&self) -> bool {
+        self.shared.is_empty() && self.exclusive.is_none()
+    }
+
+    /// True if `txn` holds the lock in any mode.
+    pub fn holds(&self, txn: TxnId) -> bool {
+        self.exclusive.map(|(t, _)| t) == Some(txn)
+            || self.shared.iter().any(|&(t, _)| t == txn)
+    }
+
+    /// Current exclusive holder, if any.
+    pub fn exclusive_holder(&self) -> Option<TxnId> {
+        self.exclusive.map(|(t, _)| t)
+    }
+
+    /// Number of shared holders.
+    pub fn shared_count(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// Attempt to acquire under NO_WAIT. Returns `true` iff granted.
+    ///
+    /// Re-entrant acquisitions by the same transaction succeed without
+    /// changing state; an upgrade (shared → exclusive) succeeds only when the
+    /// requester is the sole shared holder.
+    pub fn try_acquire(&mut self, txn: TxnId, mode: LockMode, now: SimTime) -> bool {
+        match mode {
+            LockMode::Shared => {
+                if let Some((holder, _)) = self.exclusive {
+                    // An exclusive holder may also read its own lock.
+                    return holder == txn;
+                }
+                if !self.shared.iter().any(|&(t, _)| t == txn) {
+                    self.shared.push((txn, now));
+                }
+                true
+            }
+            LockMode::Exclusive => {
+                match self.exclusive {
+                    Some((holder, _)) => return holder == txn,
+                    None => {}
+                }
+                match self.shared.as_slice() {
+                    [] => {
+                        self.exclusive = Some((txn, now));
+                        true
+                    }
+                    // Upgrade path: sole shared holder is the requester.
+                    [(holder, since)] if *holder == txn => {
+                        self.exclusive = Some((txn, *since));
+                        self.shared.clear();
+                        true
+                    }
+                    _ => false,
+                }
+            }
+        }
+    }
+
+    /// Release whatever `txn` holds. Returns `None` when `txn` held nothing
+    /// (releases are idempotent — abort paths may release eagerly).
+    pub fn release(&mut self, txn: TxnId, now: SimTime) -> Option<Released> {
+        if let Some((holder, since)) = self.exclusive {
+            if holder == txn {
+                self.exclusive = None;
+                return Some(Released {
+                    held_for: now.saturating_since(since),
+                    mode: LockMode::Exclusive,
+                });
+            }
+        }
+        if let Some(pos) = self.shared.iter().position(|&(t, _)| t == txn) {
+            let (_, since) = self.shared.swap_remove(pos);
+            return Some(Released {
+                held_for: now.saturating_since(since),
+                mode: LockMode::Shared,
+            });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiller_common::ids::NodeId;
+
+    fn t(n: u64) -> TxnId {
+        TxnId::new(NodeId(0), n)
+    }
+
+    const T0: SimTime = SimTime(0);
+
+    #[test]
+    fn shared_locks_are_compatible() {
+        let mut l = LockState::new();
+        assert!(l.try_acquire(t(1), LockMode::Shared, T0));
+        assert!(l.try_acquire(t(2), LockMode::Shared, T0));
+        assert_eq!(l.shared_count(), 2);
+    }
+
+    #[test]
+    fn exclusive_blocks_everyone_else() {
+        let mut l = LockState::new();
+        assert!(l.try_acquire(t(1), LockMode::Exclusive, T0));
+        assert!(!l.try_acquire(t(2), LockMode::Exclusive, T0));
+        assert!(!l.try_acquire(t(2), LockMode::Shared, T0));
+    }
+
+    #[test]
+    fn shared_blocks_exclusive_from_others() {
+        let mut l = LockState::new();
+        assert!(l.try_acquire(t(1), LockMode::Shared, T0));
+        assert!(!l.try_acquire(t(2), LockMode::Exclusive, T0));
+    }
+
+    #[test]
+    fn reentrant_acquire_is_noop_success() {
+        let mut l = LockState::new();
+        assert!(l.try_acquire(t(1), LockMode::Exclusive, T0));
+        assert!(l.try_acquire(t(1), LockMode::Exclusive, T0));
+        assert!(l.try_acquire(t(1), LockMode::Shared, T0));
+        assert!(l.release(t(1), SimTime(5)).is_some());
+        assert!(l.is_free());
+    }
+
+    #[test]
+    fn upgrade_succeeds_when_sole_holder() {
+        let mut l = LockState::new();
+        assert!(l.try_acquire(t(1), LockMode::Shared, T0));
+        assert!(l.try_acquire(t(1), LockMode::Exclusive, SimTime(10)));
+        assert_eq!(l.exclusive_holder(), Some(t(1)));
+        // Span counts from the original shared acquisition.
+        let rel = l.release(t(1), SimTime(30)).unwrap();
+        assert_eq!(rel.held_for, Duration(30));
+    }
+
+    #[test]
+    fn upgrade_fails_with_other_readers() {
+        let mut l = LockState::new();
+        assert!(l.try_acquire(t(1), LockMode::Shared, T0));
+        assert!(l.try_acquire(t(2), LockMode::Shared, T0));
+        assert!(!l.try_acquire(t(1), LockMode::Exclusive, T0));
+    }
+
+    #[test]
+    fn release_reports_span_and_mode() {
+        let mut l = LockState::new();
+        l.try_acquire(t(1), LockMode::Exclusive, SimTime(100));
+        let r = l.release(t(1), SimTime(350)).unwrap();
+        assert_eq!(r.held_for, Duration(250));
+        assert_eq!(r.mode, LockMode::Exclusive);
+    }
+
+    #[test]
+    fn release_is_idempotent() {
+        let mut l = LockState::new();
+        l.try_acquire(t(1), LockMode::Shared, T0);
+        assert!(l.release(t(1), T0).is_some());
+        assert!(l.release(t(1), T0).is_none());
+        assert!(l.release(t(9), T0).is_none());
+    }
+
+    #[test]
+    fn holds_reflects_both_modes() {
+        let mut l = LockState::new();
+        l.try_acquire(t(1), LockMode::Shared, T0);
+        l.try_acquire(t(2), LockMode::Shared, T0);
+        assert!(l.holds(t(1)) && l.holds(t(2)) && !l.holds(t(3)));
+    }
+
+    #[test]
+    fn freed_lock_grants_again() {
+        let mut l = LockState::new();
+        l.try_acquire(t(1), LockMode::Exclusive, T0);
+        l.release(t(1), SimTime(10));
+        assert!(l.try_acquire(t(2), LockMode::Exclusive, SimTime(10)));
+    }
+}

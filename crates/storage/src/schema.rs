@@ -1,0 +1,213 @@
+//! Schema metadata: table definitions and composite-key packing.
+//!
+//! The workloads (TPC-C, Instacart-like, microbenchmarks) register their
+//! tables here. Composite primary keys such as TPC-C's `(w_id, d_id, o_id)`
+//! are packed into a single `u64` with explicit bit budgets per field, which
+//! keeps [`chiller_common::ids::RecordId`] `Copy` and the hot-record lookup
+//! table flat.
+
+use chiller_common::ids::TableId;
+use std::collections::HashMap;
+
+/// Definition of one table.
+#[derive(Debug, Clone)]
+pub struct TableDef {
+    pub id: TableId,
+    pub name: &'static str,
+    /// Column names, for debugging and column-index lookups in tests.
+    pub columns: Vec<&'static str>,
+    /// Records per lock bucket (1 = record-level locking). TPC-C experiments
+    /// use 1 so that, e.g., two different districts never falsely conflict.
+    pub records_per_bucket: u64,
+}
+
+impl TableDef {
+    pub fn new(id: TableId, name: &'static str, columns: Vec<&'static str>) -> Self {
+        TableDef {
+            id,
+            name,
+            columns,
+            records_per_bucket: 1,
+        }
+    }
+
+    pub fn with_bucket_size(mut self, records_per_bucket: u64) -> Self {
+        assert!(records_per_bucket >= 1);
+        self.records_per_bucket = records_per_bucket;
+        self
+    }
+
+    /// Index of a column by name.
+    ///
+    /// # Panics
+    /// Panics when the column does not exist — a schema bug, not a runtime
+    /// condition.
+    pub fn col(&self, name: &str) -> usize {
+        self.columns
+            .iter()
+            .position(|c| *c == name)
+            .unwrap_or_else(|| panic!("table {} has no column {name}", self.name))
+    }
+}
+
+/// A database schema: the set of table definitions.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    tables: HashMap<TableId, TableDef>,
+    by_name: HashMap<&'static str, TableId>,
+}
+
+impl Schema {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add(&mut self, def: TableDef) -> TableId {
+        let id = def.id;
+        assert!(
+            self.by_name.insert(def.name, id).is_none(),
+            "duplicate table name {}",
+            def.name
+        );
+        assert!(self.tables.insert(id, def).is_none(), "duplicate table id");
+        id
+    }
+
+    pub fn table(&self, id: TableId) -> &TableDef {
+        self.tables
+            .get(&id)
+            .unwrap_or_else(|| panic!("unknown table {id}"))
+    }
+
+    pub fn by_name(&self, name: &str) -> &TableDef {
+        let id = self
+            .by_name
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown table {name}"));
+        &self.tables[id]
+    }
+
+    pub fn tables(&self) -> impl Iterator<Item = &TableDef> {
+        self.tables.values()
+    }
+
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+/// Packs composite keys into a `u64` using per-field bit widths.
+///
+/// ```
+/// use chiller_storage::schema::KeyPacker;
+/// // (w_id: 16 bits, d_id: 8 bits, c_id: 24 bits)
+/// let kp = KeyPacker::new(&[16, 8, 24]);
+/// let key = kp.pack(&[3, 7, 1234]);
+/// assert_eq!(kp.unpack(key), vec![3, 7, 1234]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KeyPacker {
+    widths: Vec<u32>,
+}
+
+impl KeyPacker {
+    /// # Panics
+    /// Panics if the total width exceeds 64 bits.
+    pub fn new(widths: &[u32]) -> Self {
+        let total: u32 = widths.iter().sum();
+        assert!(total <= 64, "key wider than 64 bits");
+        KeyPacker {
+            widths: widths.to_vec(),
+        }
+    }
+
+    /// Pack field values (given in declaration order, most-significant
+    /// first).
+    ///
+    /// # Panics
+    /// Panics (in debug builds) when a field exceeds its bit budget.
+    pub fn pack(&self, fields: &[u64]) -> u64 {
+        assert_eq!(fields.len(), self.widths.len(), "field count mismatch");
+        let mut key = 0u64;
+        for (f, w) in fields.iter().zip(&self.widths) {
+            debug_assert!(*w == 64 || *f < (1u64 << w), "field {f} overflows {w} bits");
+            key = if *w == 64 { *f } else { (key << w) | f };
+        }
+        key
+    }
+
+    /// Unpack back into field values.
+    pub fn unpack(&self, mut key: u64) -> Vec<u64> {
+        let mut out = vec![0u64; self.widths.len()];
+        for (slot, w) in out.iter_mut().zip(&self.widths).rev() {
+            let mask = if *w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+            *slot = key & mask;
+            key = if *w == 64 { 0 } else { key >> w };
+        }
+        out
+    }
+
+    /// Extract a single field without a full unpack.
+    pub fn field(&self, key: u64, index: usize) -> u64 {
+        self.unpack(key)[index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_packer_roundtrip() {
+        let kp = KeyPacker::new(&[16, 8, 24, 16]);
+        let fields = vec![65_535, 255, 1 << 23, 42];
+        assert_eq!(kp.unpack(kp.pack(&fields)), fields);
+    }
+
+    #[test]
+    fn key_packer_orders_by_msb_field() {
+        let kp = KeyPacker::new(&[16, 32]);
+        assert!(kp.pack(&[1, 999_999]) < kp.pack(&[2, 0]));
+    }
+
+    #[test]
+    fn key_packer_single_field() {
+        let kp = KeyPacker::new(&[64]);
+        assert_eq!(kp.pack(&[u64::MAX]), u64::MAX);
+        assert_eq!(kp.unpack(u64::MAX), vec![u64::MAX]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than 64")]
+    fn key_packer_rejects_overwide() {
+        KeyPacker::new(&[40, 40]);
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let mut s = Schema::new();
+        let id = s.add(TableDef::new(TableId(1), "warehouse", vec!["w_id", "w_ytd"]));
+        assert_eq!(s.table(id).name, "warehouse");
+        assert_eq!(s.by_name("warehouse").id, id);
+        assert_eq!(s.by_name("warehouse").col("w_ytd"), 1);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no column")]
+    fn missing_column_panics() {
+        TableDef::new(TableId(1), "t", vec!["a"]).col("b");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate table name")]
+    fn duplicate_name_panics() {
+        let mut s = Schema::new();
+        s.add(TableDef::new(TableId(1), "t", vec![]));
+        s.add(TableDef::new(TableId(2), "t", vec![]));
+    }
+}

@@ -1,0 +1,327 @@
+//! Per-partition stores: tables of buckets, plus primary/replica copies.
+//!
+//! A [`PartitionStore`] is the state one simulated node owns for one
+//! partition. The concurrency-control layer calls into it for record access
+//! and lock-word manipulation; all timing (latencies, CPU) is modeled by the
+//! caller, never here.
+
+use crate::bucket::Bucket;
+use crate::lock::{LockMode, Released};
+use crate::schema::Schema;
+use chiller_common::error::{ChillerError, Result};
+use chiller_common::ids::{PartitionId, RecordId, TableId, TxnId};
+use chiller_common::time::SimTime;
+use chiller_common::value::Row;
+use std::collections::HashMap;
+
+/// One table's buckets within a partition.
+#[derive(Debug, Clone)]
+pub struct TableStore {
+    buckets: HashMap<u64, Bucket>,
+    records_per_bucket: u64,
+}
+
+impl TableStore {
+    pub fn new(records_per_bucket: u64) -> Self {
+        TableStore {
+            buckets: HashMap::new(),
+            records_per_bucket: records_per_bucket.max(1),
+        }
+    }
+
+    #[inline]
+    fn bucket_id(&self, key: u64) -> u64 {
+        key / self.records_per_bucket
+    }
+
+    pub fn bucket_for(&self, key: u64) -> Option<&Bucket> {
+        self.buckets.get(&self.bucket_id(key))
+    }
+
+    pub fn bucket_for_mut(&mut self, key: u64) -> &mut Bucket {
+        let id = self.bucket_id(key);
+        self.buckets.entry(id).or_default()
+    }
+
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    pub fn num_records(&self) -> usize {
+        self.buckets.values().map(Bucket::len).sum()
+    }
+
+    /// Iterate all `(key, row)` pairs, unordered across buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (&u64, &Row)> {
+        self.buckets.values().flat_map(Bucket::iter)
+    }
+}
+
+/// All tables of one partition, primary copy.
+pub struct PartitionStore {
+    pub partition: PartitionId,
+    schema: Schema,
+    tables: HashMap<TableId, TableStore>,
+}
+
+impl PartitionStore {
+    pub fn new(partition: PartitionId, schema: Schema) -> Self {
+        let tables = schema
+            .tables()
+            .map(|t| (t.id, TableStore::new(t.records_per_bucket)))
+            .collect();
+        PartitionStore {
+            partition,
+            schema,
+            tables,
+        }
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn table(&self, id: TableId) -> &TableStore {
+        self.tables
+            .get(&id)
+            .unwrap_or_else(|| panic!("partition {} has no table {id}", self.partition))
+    }
+
+    pub fn table_mut(&mut self, id: TableId) -> &mut TableStore {
+        self.tables
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("no table {id}"))
+    }
+
+    // ---- record access -------------------------------------------------
+
+    pub fn read(&self, rid: RecordId) -> Result<&Row> {
+        self.table(rid.table)
+            .bucket_for(rid.key)
+            .and_then(|b| b.get(rid.key))
+            .ok_or(ChillerError::RecordNotFound(rid))
+    }
+
+    pub fn read_opt(&self, rid: RecordId) -> Option<&Row> {
+        self.table(rid.table)
+            .bucket_for(rid.key)
+            .and_then(|b| b.get(rid.key))
+    }
+
+    pub fn exists(&self, rid: RecordId) -> bool {
+        self.read_opt(rid).is_some()
+    }
+
+    /// Overwrite a record (used for committed updates and replica apply).
+    pub fn write(&mut self, rid: RecordId, row: Row) {
+        self.table_mut(rid.table).bucket_for_mut(rid.key).put(rid.key, row);
+    }
+
+    /// Insert a fresh record, failing on duplicates.
+    pub fn insert(&mut self, rid: RecordId, row: Row) -> Result<()> {
+        if self
+            .table_mut(rid.table)
+            .bucket_for_mut(rid.key)
+            .insert_new(rid.key, row)
+        {
+            Ok(())
+        } else {
+            Err(ChillerError::DuplicateKey(rid))
+        }
+    }
+
+    pub fn delete(&mut self, rid: RecordId) -> Result<Row> {
+        self.table_mut(rid.table)
+            .bucket_for_mut(rid.key)
+            .remove(rid.key)
+            .ok_or(ChillerError::RecordNotFound(rid))
+    }
+
+    /// Bulk load during data generation: no locks, no versions semantics
+    /// beyond normal put.
+    pub fn load(&mut self, rid: RecordId, row: Row) {
+        self.write(rid, row);
+    }
+
+    // ---- lock words (one-sided atomics target) --------------------------
+
+    /// NO_WAIT lock attempt on the bucket containing `rid`.
+    pub fn try_lock(
+        &mut self,
+        rid: RecordId,
+        txn: TxnId,
+        mode: LockMode,
+        now: SimTime,
+    ) -> Result<()> {
+        let bucket = self.table_mut(rid.table).bucket_for_mut(rid.key);
+        if bucket.lock.try_acquire(txn, mode, now) {
+            Ok(())
+        } else {
+            Err(ChillerError::LockConflict { txn, record: rid })
+        }
+    }
+
+    /// Release `txn`'s lock on the bucket of `rid`, reporting the held span.
+    pub fn unlock(&mut self, rid: RecordId, txn: TxnId, now: SimTime) -> Option<Released> {
+        self.table_mut(rid.table)
+            .bucket_for_mut(rid.key)
+            .lock
+            .release(txn, now)
+    }
+
+    /// Current version of the bucket holding `rid` (for OCC validation).
+    pub fn version(&self, rid: RecordId) -> u64 {
+        self.table(rid.table)
+            .bucket_for(rid.key)
+            .map(Bucket::version)
+            .unwrap_or(0)
+    }
+
+    /// Whether the bucket of `rid` is currently locked by anyone.
+    pub fn is_locked(&self, rid: RecordId) -> bool {
+        self.table(rid.table)
+            .bucket_for(rid.key)
+            .map(|b| !b.lock.is_free())
+            .unwrap_or(false)
+    }
+
+    /// Whether `txn` holds the lock on `rid`'s bucket.
+    pub fn holds_lock(&self, rid: RecordId, txn: TxnId) -> bool {
+        self.table(rid.table)
+            .bucket_for(rid.key)
+            .map(|b| b.lock.holds(txn))
+            .unwrap_or(false)
+    }
+
+    /// Diagnostic: total records across tables.
+    pub fn num_records(&self) -> usize {
+        self.tables.values().map(TableStore::num_records).sum()
+    }
+
+    /// Diagnostic: true when no bucket in the partition holds any lock.
+    /// Used by tests to assert that runs never leak locks.
+    pub fn all_locks_free(&self) -> bool {
+        self.tables
+            .values()
+            .all(|t| t.buckets.values().all(|b| b.lock.is_free()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableDef;
+    use chiller_common::ids::NodeId;
+    use chiller_common::value::Value;
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.add(TableDef::new(TableId(1), "acct", vec!["id", "bal"]));
+        s.add(TableDef::new(TableId(2), "coarse", vec!["id"]).with_bucket_size(10));
+        s
+    }
+
+    fn store() -> PartitionStore {
+        PartitionStore::new(PartitionId(0), schema())
+    }
+
+    fn rid(k: u64) -> RecordId {
+        RecordId::new(TableId(1), k)
+    }
+
+    fn txn(n: u64) -> TxnId {
+        TxnId::new(NodeId(0), n)
+    }
+
+    #[test]
+    fn crud_roundtrip() {
+        let mut st = store();
+        st.insert(rid(1), vec![Value::I64(1), Value::F64(10.0)]).unwrap();
+        assert_eq!(st.read(rid(1)).unwrap()[1].as_f64(), 10.0);
+        st.write(rid(1), vec![Value::I64(1), Value::F64(20.0)]);
+        assert_eq!(st.read(rid(1)).unwrap()[1].as_f64(), 20.0);
+        let old = st.delete(rid(1)).unwrap();
+        assert_eq!(old[1].as_f64(), 20.0);
+        assert!(matches!(
+            st.read(rid(1)),
+            Err(ChillerError::RecordNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn insert_duplicate_fails() {
+        let mut st = store();
+        st.insert(rid(1), vec![Value::I64(1), Value::Null]).unwrap();
+        assert!(matches!(
+            st.insert(rid(1), vec![Value::I64(1), Value::Null]),
+            Err(ChillerError::DuplicateKey(_))
+        ));
+    }
+
+    #[test]
+    fn no_wait_lock_conflict_surfaces_error() {
+        let mut st = store();
+        st.insert(rid(1), vec![Value::I64(1), Value::Null]).unwrap();
+        st.try_lock(rid(1), txn(1), LockMode::Exclusive, SimTime(0)).unwrap();
+        let err = st
+            .try_lock(rid(1), txn(2), LockMode::Shared, SimTime(0))
+            .unwrap_err();
+        assert!(matches!(err, ChillerError::LockConflict { .. }));
+        assert!(err.is_retryable());
+    }
+
+    #[test]
+    fn unlock_reports_contention_span() {
+        let mut st = store();
+        st.insert(rid(1), vec![Value::I64(1), Value::Null]).unwrap();
+        st.try_lock(rid(1), txn(1), LockMode::Exclusive, SimTime(100)).unwrap();
+        let rel = st.unlock(rid(1), txn(1), SimTime(400)).unwrap();
+        assert_eq!(rel.held_for.as_nanos(), 300);
+        assert!(st.all_locks_free());
+    }
+
+    #[test]
+    fn bucket_granularity_couples_neighbors() {
+        let mut st = store();
+        let a = RecordId::new(TableId(2), 3);
+        let b = RecordId::new(TableId(2), 7); // same bucket (size 10)
+        let c = RecordId::new(TableId(2), 13); // next bucket
+        st.load(a, vec![Value::I64(3)]);
+        st.load(b, vec![Value::I64(7)]);
+        st.load(c, vec![Value::I64(13)]);
+        st.try_lock(a, txn(1), LockMode::Exclusive, SimTime(0)).unwrap();
+        assert!(st.try_lock(b, txn(2), LockMode::Shared, SimTime(0)).is_err());
+        assert!(st.try_lock(c, txn(2), LockMode::Shared, SimTime(0)).is_ok());
+    }
+
+    #[test]
+    fn version_bumps_per_bucket_write() {
+        let mut st = store();
+        assert_eq!(st.version(rid(5)), 0);
+        st.write(rid(5), vec![Value::I64(5), Value::Null]);
+        let v1 = st.version(rid(5));
+        st.write(rid(5), vec![Value::I64(5), Value::Null]);
+        assert!(st.version(rid(5)) > v1);
+    }
+
+    #[test]
+    fn record_counts() {
+        let mut st = store();
+        for k in 0..5 {
+            st.load(rid(k), vec![Value::I64(k as i64), Value::Null]);
+        }
+        assert_eq!(st.num_records(), 5);
+        assert_eq!(st.table(TableId(1)).num_buckets(), 5);
+    }
+
+    #[test]
+    fn holds_and_is_locked() {
+        let mut st = store();
+        st.load(rid(1), vec![Value::I64(1), Value::Null]);
+        assert!(!st.is_locked(rid(1)));
+        st.try_lock(rid(1), txn(1), LockMode::Shared, SimTime(0)).unwrap();
+        assert!(st.is_locked(rid(1)));
+        assert!(st.holds_lock(rid(1), txn(1)));
+        assert!(!st.holds_lock(rid(1), txn(2)));
+    }
+}

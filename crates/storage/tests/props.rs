@@ -1,0 +1,88 @@
+//! Property tests: lock-word invariants under arbitrary operation
+//! sequences, and key-packer round trips.
+
+use chiller_common::ids::{NodeId, TxnId};
+use chiller_common::time::SimTime;
+use chiller_storage::lock::{LockMode, LockState};
+use chiller_storage::schema::KeyPacker;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Acquire(u8, bool), // (txn, exclusive)
+    Release(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..6, any::<bool>()).prop_map(|(t, x)| Op::Acquire(t, x)),
+        (0u8..6).prop_map(Op::Release),
+    ]
+}
+
+proptest! {
+    /// Core mutual-exclusion invariant: never an exclusive holder together
+    /// with shared holders (other than itself), never two exclusive holders,
+    /// and every grant/denial is consistent with the current state.
+    #[test]
+    fn lock_invariants(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut lock = LockState::new();
+        // Model state: set of shared holders, exclusive holder.
+        let mut shared: Vec<u8> = Vec::new();
+        let mut exclusive: Option<u8> = None;
+        for (i, op) in ops.iter().enumerate() {
+            let now = SimTime(i as u64);
+            match *op {
+                Op::Acquire(t, true) => {
+                    let txn = TxnId::new(NodeId(0), t as u64);
+                    let granted = lock.try_acquire(txn, LockMode::Exclusive, now);
+                    let expect = match exclusive {
+                        Some(h) => h == t,
+                        None => shared.is_empty() || shared == vec![t],
+                    };
+                    prop_assert_eq!(granted, expect);
+                    if granted && exclusive.is_none() {
+                        exclusive = Some(t);
+                        shared.clear();
+                    }
+                }
+                Op::Acquire(t, false) => {
+                    let txn = TxnId::new(NodeId(0), t as u64);
+                    let granted = lock.try_acquire(txn, LockMode::Shared, now);
+                    let expect = match exclusive {
+                        Some(h) => h == t,
+                        None => true,
+                    };
+                    prop_assert_eq!(granted, expect);
+                    if granted && exclusive.is_none() && !shared.contains(&t) {
+                        shared.push(t);
+                    }
+                }
+                Op::Release(t) => {
+                    let txn = TxnId::new(NodeId(0), t as u64);
+                    let released = lock.release(txn, now).is_some();
+                    let expect = exclusive == Some(t) || shared.contains(&t);
+                    prop_assert_eq!(released, expect);
+                    if exclusive == Some(t) {
+                        exclusive = None;
+                    }
+                    shared.retain(|&s| s != t);
+                }
+            }
+            prop_assert_eq!(lock.is_free(), exclusive.is_none() && shared.is_empty());
+        }
+    }
+
+    /// KeyPacker round-trips arbitrary in-range fields.
+    #[test]
+    fn key_packer_roundtrip(
+        w in 0u64..(1 << 16),
+        d in 0u64..(1 << 8),
+        c in 0u64..(1 << 24),
+        pad in 0u64..(1 << 16),
+    ) {
+        let kp = KeyPacker::new(&[16, 8, 24, 16]);
+        let fields = vec![w, d, c, pad];
+        prop_assert_eq!(kp.unpack(kp.pack(&fields)), fields);
+    }
+}

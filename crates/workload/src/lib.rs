@@ -1,0 +1,25 @@
+//! # chiller-workload
+//!
+//! The workloads of the paper's evaluation (§7), expressed against the
+//! `chiller` public API:
+//!
+//! * [`tpcc`] — the full TPC-C mix (NewOrder, Payment, OrderStatus,
+//!   Delivery, StockLevel) with warehouse partitioning: Figures 9 and 10.
+//!   Scaled-down table cardinalities and the documented simplifications are
+//!   listed in the module docs.
+//! * [`instacart`] — a synthetic grocery-order generator calibrated to the
+//!   published marginals of the Instacart 2017 dataset (top product in 15%
+//!   of orders, second in 8%, baskets of ~10 items): the partitioning
+//!   comparison of Figures 7 and 8 and the lookup-table-size study.
+//! * [`flight`] — the paper's Figure 4 flight-booking procedure as a
+//!   runnable workload (used by the `flight_booking` example).
+//! * [`transfer`] — a minimal money-transfer microworkload with a
+//!   controllable hot set (used by the quickstart and ablation benches).
+//! * [`ycsb`] — a YCSB-style key-value microworkload with Zipfian skew,
+//!   for controlled studies of the engines.
+
+pub mod flight;
+pub mod instacart;
+pub mod tpcc;
+pub mod transfer;
+pub mod ycsb;

@@ -1,0 +1,206 @@
+//! TPC-C schema: tables, composite-key packing, warehouse placement.
+//!
+//! Every key leads with a 16-bit warehouse id in the top bits, so the
+//! warehouse placement can extract it uniformly (`key >> 48`).
+
+use chiller_common::ids::{PartitionId, RecordId};
+use chiller_storage::placement::Placement;
+use chiller_storage::schema::{Schema, TableDef};
+
+/// Table ids.
+pub mod tables {
+    use chiller_common::ids::TableId;
+    pub const WAREHOUSE: TableId = TableId(1);
+    pub const DISTRICT: TableId = TableId(2);
+    pub const CUSTOMER: TableId = TableId(3);
+    pub const HISTORY: TableId = TableId(4);
+    pub const NEW_ORDER: TableId = TableId(5);
+    pub const ORDER: TableId = TableId(6);
+    pub const ORDER_LINE: TableId = TableId(7);
+    pub const STOCK: TableId = TableId(8);
+}
+
+/// Key packing: warehouse id in bits 48..64 of every key.
+pub mod keys {
+    const W_SHIFT: u32 = 48;
+
+    #[inline]
+    pub fn warehouse(w: u64) -> u64 {
+        w << W_SHIFT
+    }
+
+    #[inline]
+    pub fn district(w: u64, d: u64) -> u64 {
+        debug_assert!(d < 256);
+        (w << W_SHIFT) | (d << 40)
+    }
+
+    #[inline]
+    pub fn customer(w: u64, d: u64, c: u64) -> u64 {
+        debug_assert!(c < (1 << 24));
+        (w << W_SHIFT) | (d << 40) | (c << 16)
+    }
+
+    #[inline]
+    pub fn order(w: u64, d: u64, o: u64) -> u64 {
+        debug_assert!(o < (1 << 32));
+        (w << W_SHIFT) | (d << 40) | (o << 8)
+    }
+
+    #[inline]
+    pub fn new_order(w: u64, d: u64, o: u64) -> u64 {
+        order(w, d, o)
+    }
+
+    #[inline]
+    pub fn order_line(w: u64, d: u64, o: u64, line: u64) -> u64 {
+        debug_assert!(line < 256 && o < (1 << 32));
+        // o gets 32 bits (8..40), line the low 8.
+        (w << W_SHIFT) | (d << 40) | (o << 8) | line
+    }
+
+    #[inline]
+    pub fn stock(w: u64, i: u64) -> u64 {
+        debug_assert!(i < (1 << 32));
+        (w << W_SHIFT) | i
+    }
+
+    #[inline]
+    pub fn history(w: u64, d: u64, seq: u64) -> u64 {
+        debug_assert!(seq < (1 << 40));
+        (w << W_SHIFT) | (d << 40) | seq
+    }
+
+    /// Warehouse id of any TPC-C key.
+    #[inline]
+    pub fn warehouse_of(key: u64) -> u64 {
+        key >> W_SHIFT
+    }
+}
+
+/// Column layouts (indices documented in the row builders of `gen`).
+pub fn tpcc_schema() -> Schema {
+    use tables::*;
+    let mut s = Schema::new();
+    s.add(TableDef::new(WAREHOUSE, "warehouse", vec!["w_id", "w_tax", "w_ytd"]));
+    s.add(TableDef::new(
+        DISTRICT,
+        "district",
+        vec!["d_w_id", "d_id", "d_tax", "d_ytd", "d_next_o_id", "d_last_delivered"],
+    ));
+    s.add(TableDef::new(
+        CUSTOMER,
+        "customer",
+        vec![
+            "c_w_id",
+            "c_d_id",
+            "c_id",
+            "c_balance",
+            "c_ytd_payment",
+            "c_payment_cnt",
+            "c_delivery_cnt",
+        ],
+    ));
+    s.add(TableDef::new(HISTORY, "history", vec!["h_c_key", "h_amount"]));
+    s.add(TableDef::new(NEW_ORDER, "new_order", vec!["no_o_id"]));
+    s.add(TableDef::new(
+        ORDER,
+        "order",
+        vec!["o_id", "o_c_id", "o_carrier_id", "o_ol_cnt", "o_total"],
+    ));
+    s.add(TableDef::new(
+        ORDER_LINE,
+        "order_line",
+        vec!["ol_i_id", "ol_supply_w_id", "ol_quantity", "ol_amount"],
+    ));
+    s.add(TableDef::new(
+        STOCK,
+        "stock",
+        vec!["s_i_id", "s_quantity", "s_ytd", "s_order_cnt", "s_remote_cnt"],
+    ));
+    s
+}
+
+/// Warehouse partitioning: warehouse `w` lives on partition `(w-1) % k`
+/// (with one warehouse per engine in the paper's setup, this is exactly
+/// "partitioned by warehouse").
+#[derive(Debug, Clone)]
+pub struct TpccPlacement {
+    pub partitions: u32,
+}
+
+impl TpccPlacement {
+    pub fn new(partitions: u32) -> Self {
+        assert!(partitions > 0);
+        TpccPlacement { partitions }
+    }
+}
+
+impl Placement for TpccPlacement {
+    fn partition_of(&self, record: RecordId) -> PartitionId {
+        let w = keys::warehouse_of(record.key);
+        debug_assert!(w >= 1, "TPC-C warehouse ids are 1-based: {record:?}");
+        PartitionId(((w - 1) % self.partitions as u64) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_roundtrip_warehouse() {
+        for key in [
+            keys::warehouse(7),
+            keys::district(7, 9),
+            keys::customer(7, 9, 12345),
+            keys::order(7, 9, 1 << 20),
+            keys::order_line(7, 9, 1 << 20, 13),
+            keys::stock(7, 424242),
+            keys::history(7, 9, (1 << 40) - 1),
+        ] {
+            assert_eq!(keys::warehouse_of(key), 7);
+        }
+    }
+
+    #[test]
+    fn keys_are_distinct_within_tables() {
+        assert_ne!(keys::district(1, 2), keys::district(1, 3));
+        assert_ne!(keys::order(1, 2, 3), keys::order(1, 2, 4));
+        assert_ne!(keys::order_line(1, 2, 3, 1), keys::order_line(1, 2, 3, 2));
+        assert_ne!(keys::order_line(1, 2, 3, 1), keys::order(1, 2, 3));
+        assert_ne!(keys::customer(1, 2, 3), keys::customer(1, 3, 3));
+    }
+
+    #[test]
+    fn order_and_orderline_share_order_bits() {
+        // order_line(o, line) must sort within order o's range.
+        let ol = keys::order_line(1, 2, 100, 5);
+        assert_eq!(ol >> 8 << 8, keys::order(1, 2, 100));
+    }
+
+    #[test]
+    fn placement_maps_warehouses_round_robin() {
+        let p = TpccPlacement::new(4);
+        assert_eq!(
+            p.partition_of(RecordId::new(tables::WAREHOUSE, keys::warehouse(1))),
+            PartitionId(0)
+        );
+        assert_eq!(
+            p.partition_of(RecordId::new(tables::DISTRICT, keys::district(4, 3))),
+            PartitionId(3)
+        );
+        assert_eq!(
+            p.partition_of(RecordId::new(tables::STOCK, keys::stock(5, 9))),
+            PartitionId(0)
+        );
+    }
+
+    #[test]
+    fn schema_has_all_tables() {
+        let s = tpcc_schema();
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.by_name("district").col("d_next_o_id"), 4);
+        assert_eq!(s.by_name("warehouse").col("w_ytd"), 2);
+    }
+}

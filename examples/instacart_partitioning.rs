@@ -1,0 +1,81 @@
+//! Contention-aware partitioning on the Instacart-like workload: run the
+//! whole §4 pipeline (statistics → contention likelihood → star graph →
+//! multilevel partitioning → hot lookup table), compare with Schism and
+//! hash partitioning, then execute all three (a miniature Figures 7+8).
+//!
+//! ```sh
+//! cargo run --release -p chiller-bench --example instacart_partitioning
+//! ```
+
+use chiller::cluster::RunSpec;
+use chiller::prelude::*;
+use chiller_partition::chiller_part::distributed_ratio;
+use chiller_partition::{ChillerPartitioner, ContentionModel, LoadMetric, SchismPartitioner};
+use chiller_workload::instacart::{self, InstacartConfig};
+use std::sync::Arc;
+
+fn main() {
+    let cfg = InstacartConfig::default();
+    let k = 4usize;
+
+    // The sampling statistics service output (§4.1).
+    let trace = instacart::trace(&cfg, 4_000, 8_000_000);
+    let model = ContentionModel::new(30_000.0, trace.window_ns as f64);
+
+    // Chiller pipeline.
+    let mut partitioner = ChillerPartitioner::new(k as u32, model);
+    partitioner.load_metric = LoadMetric::Transactions;
+    partitioner.hot_threshold = 0.05;
+    partitioner.epsilon = 8.0;
+    let chiller = partitioner.partition(&trace);
+    println!("== Chiller partitioning (§4) ==");
+    println!(
+        "star graph: {} vertices, {} edges",
+        chiller.graph_vertices, chiller.graph_edges
+    );
+    println!("hot records (lookup-table entries): {}", chiller.num_hot());
+    for (r, pc) in chiller.hot_likelihoods.iter().take(5) {
+        println!("  {r}: contention likelihood {pc:.3} → {:?}", chiller.hot_assignments[r]);
+    }
+
+    // Schism baseline.
+    let schism = SchismPartitioner::new(k as u32).partition(&trace);
+    println!("\n== Schism baseline ==");
+    println!(
+        "clique graph: {} vertices, {} edges",
+        schism.graph_vertices, schism.graph_edges
+    );
+    println!("lookup-table entries: {}", schism.lookup_entries());
+
+    // Distributed-transaction ratios (Figure 8).
+    let hash = HashPlacement::new(k as u32);
+    println!("\n== Distributed-transaction ratio (Figure 8) ==");
+    println!("hashing: {:.3}", distributed_ratio(&trace.txns, &hash));
+    println!("schism:  {:.3}", distributed_ratio(&trace.txns, &schism.into_placement()));
+    println!("chiller: {:.3}", distributed_ratio(&trace.txns, &chiller.into_lookup_table()));
+
+    // Execute (Figure 7, one point).
+    println!("\n== Execution at {k} partitions ==");
+    let schism2 = SchismPartitioner::new(k as u32).partition(&trace);
+    let runs: Vec<(&str, Arc<dyn Placement + Send + Sync>, Vec<RecordId>, Protocol)> = vec![
+        ("hashing", Arc::new(HashPlacement::new(k as u32)), vec![], Protocol::TwoPhaseLocking),
+        ("schism", Arc::new(schism2.into_placement()), vec![], Protocol::TwoPhaseLocking),
+        (
+            "chiller",
+            Arc::new(partitioner.partition(&trace).into_lookup_table()),
+            chiller.hot_assignments.keys().copied().collect(),
+            Protocol::Chiller,
+        ),
+    ];
+    for (name, placement, hot, protocol) in runs {
+        let mut sim = SimConfig::default();
+        sim.engine.concurrency = 4;
+        sim.seed = 3;
+        let mut cluster = instacart::build_cluster(&cfg, k, placement, hot, protocol, sim);
+        let report = cluster.run(RunSpec::millis(2, 10));
+        println!("{name:>8}: {}", report.summary());
+    }
+    println!("\nChiller produces MORE distributed transactions than Schism yet runs");
+    println!("faster — the paper's core claim: on fast networks, optimize for");
+    println!("contention, not for transaction locality.");
+}

@@ -1,0 +1,39 @@
+//! Quickstart: build a 4-node simulated cluster, run a money-transfer
+//! workload under Chiller's two-region execution, and print the metrics.
+//!
+//! ```sh
+//! cargo run --release -p chiller-bench --example quickstart
+//! ```
+
+use chiller::cluster::RunSpec;
+use chiller::prelude::*;
+use chiller_workload::transfer::{build_cluster, total_balance, TransferConfig, INITIAL_BALANCE};
+
+fn main() {
+    let cfg = TransferConfig {
+        accounts: 2_000,
+        hot_set: 8,
+        hot_fraction: 0.3,
+    };
+
+    println!("Running the transfer workload on 4 nodes under each protocol…\n");
+    for protocol in [Protocol::Chiller, Protocol::TwoPhaseLocking, Protocol::Occ] {
+        let mut sim = SimConfig::default();
+        sim.engine.concurrency = 4;
+        sim.seed = 42;
+        let mut cluster = build_cluster(&cfg, 4, protocol, sim);
+
+        // 1 ms virtual warm-up, 10 ms measured.
+        let report = cluster.run(RunSpec::millis(1, 10));
+        println!("{protocol:>8}: {}", report.summary());
+
+        // Serializability witness: money is conserved.
+        cluster.quiesce();
+        let total = total_balance(&cluster);
+        let expected = cfg.accounts as f64 * INITIAL_BALANCE;
+        assert!((total - expected).abs() < 1e-6, "balance leak under {protocol}!");
+    }
+    println!("\nAll protocols conserved the total balance — serializable execution.");
+    println!("Note how Chiller's abort rate stays low: the hot accounts are");
+    println!("co-located and updated in inner regions with tiny contention spans.");
+}
