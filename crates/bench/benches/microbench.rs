@@ -4,7 +4,6 @@
 //! cost claim), the run-time region decision, and raw simulator event
 //! throughput.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use chiller_common::ids::{NodeId, OpId, PartitionId, RecordId, TableId, TxnId};
 use chiller_common::time::SimTime;
 use chiller_partition::likelihood::contention_likelihood;
@@ -13,6 +12,7 @@ use chiller_sproc::decide_regions;
 use chiller_storage::lock::{LockMode, LockState};
 use chiller_workload::instacart::{self, InstacartConfig};
 use chiller_workload::tpcc::procs::new_order_proc;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 fn bench_lock_word(c: &mut Criterion) {
@@ -76,7 +76,7 @@ fn bench_sproc_resolution(c: &mut Criterion) {
     let proc = new_order_proc(10);
     c.bench_function("key_resolution_static", |b| {
         let st = chiller_sproc::ExecState::new(
-            (0..40).map(|i| chiller_common::value::Value::I64(i)).collect(),
+            (0..40).map(chiller_common::value::Value::I64).collect(),
             proc.num_ops(),
         );
         b.iter(|| black_box(proc.op(OpId(0)).key.resolve(&st)));

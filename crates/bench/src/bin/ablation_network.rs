@@ -27,11 +27,13 @@ fn main() {
         .collect();
     let cfg2 = cfg.clone();
     let results = sweep(points.clone(), move |(fast, protocol)| {
-        let mut sim = SimConfig::default();
-        sim.network = if fast {
-            NetworkConfig::default()
-        } else {
-            NetworkConfig::slow_tcp()
+        let mut sim = SimConfig {
+            network: if fast {
+                NetworkConfig::default()
+            } else {
+                NetworkConfig::slow_tcp()
+            },
+            ..SimConfig::default()
         };
         sim.engine.concurrency = 4;
         sim.seed = 0xAB1;
@@ -69,7 +71,14 @@ fn main() {
     ];
     print_table(
         "Ablation: network class (TPC-C, 4 concurrent/warehouse)",
-        &["network", "2pl_ktps", "chiller_ktps", "speedup", "2pl_abort", "chiller_abort"],
+        &[
+            "network",
+            "2pl_ktps",
+            "chiller_ktps",
+            "speedup",
+            "2pl_abort",
+            "chiller_abort",
+        ],
         &rows,
     );
     println!("\nOn the slow network, message delay dominates both protocols and the");

@@ -41,9 +41,7 @@ fn main() {
         let report = cluster.run(RunSpec::millis(2, 25));
         report.throughput()
     });
-    let get = |s: usize, f: u32| {
-        results[points.iter().position(|x| *x == (s, f)).expect("point")]
-    };
+    let get = |s: usize, f: u32| results[points.iter().position(|x| *x == (s, f)).expect("point")];
 
     let mut header = vec!["pct_distributed".to_string()];
     header.extend(series.iter().map(|(n, _, _)| n.to_string()));

@@ -61,7 +61,7 @@ fn run_point(cfg: &InstacartConfig, k: usize, scheme: Scheme) -> (f64, f64) {
     };
     let mut sim = SimConfig::default();
     sim.engine.concurrency = 4;
-    sim.seed = 0xF16_7 + k as u64;
+    sim.seed = 0xF167 + k as u64;
     let mut cluster = instacart::build_cluster(cfg, k, placement, hot, protocol, sim);
     let report = cluster.run(RunSpec::millis(2, 20));
     (report.throughput(), report.abort_rate())
@@ -112,9 +112,7 @@ fn main() {
     );
 
     // Shape checks the paper reports.
-    let at = |k: usize, s: Scheme| {
-        results[points.iter().position(|p| *p == (k, s)).unwrap()].0
-    };
+    let at = |k: usize, s: Scheme| results[points.iter().position(|p| *p == (k, s)).unwrap()].0;
     let chiller_scaling = at(8, Scheme::Chiller) / at(2, Scheme::Chiller);
     let schism_scaling = at(8, Scheme::Schism) / at(2, Scheme::Schism);
     println!("\nchiller 8p/2p scaling: {chiller_scaling:.2}x (paper: near-linear ≈4x)");

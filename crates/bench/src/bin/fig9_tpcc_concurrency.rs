@@ -42,9 +42,8 @@ fn main() {
             report.abort_rate_of("StockLevel"),
         )
     });
-    let get = |c: usize, p: Protocol| {
-        &results[points.iter().position(|x| *x == (c, p)).expect("point")]
-    };
+    let get =
+        |c: usize, p: Protocol| &results[points.iter().position(|x| *x == (c, p)).expect("point")];
 
     // 9a: throughput.
     let rows: Vec<Vec<String>> = (1..=8usize)
@@ -96,7 +95,9 @@ fn main() {
     // Shape commentary.
     let chiller_gain = get(4, Protocol::Chiller).0 / get(1, Protocol::Chiller).0;
     let two_pl_gain = get(4, Protocol::TwoPhaseLocking).0 / get(1, Protocol::TwoPhaseLocking).0;
-    println!("\nchiller 4-conc/1-conc throughput: {chiller_gain:.2}x (paper: rises then saturates ≈4)");
+    println!(
+        "\nchiller 4-conc/1-conc throughput: {chiller_gain:.2}x (paper: rises then saturates ≈4)"
+    );
     println!("2pl     4-conc/1-conc throughput: {two_pl_gain:.2}x (paper: ≈flat/declining)");
     println!(
         "2pl Payment abort rate at 4 concurrent: {:.2} (paper: ≈1.0 — warehouse-lock starvation)",

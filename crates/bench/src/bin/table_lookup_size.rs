@@ -22,12 +22,20 @@ fn main() {
             k.to_string(),
             schism_entries.to_string(),
             chiller_entries.to_string(),
-            format!("{:.1}", schism_entries as f64 / chiller_entries.max(1) as f64),
+            format!(
+                "{:.1}",
+                schism_entries as f64 / chiller_entries.max(1) as f64
+            ),
         ]);
     }
     print_table(
         "Lookup-table size (entries): Schism vs Chiller (paper: ≈10x)",
-        &["partitions", "schism_entries", "chiller_entries", "schism/chiller"],
+        &[
+            "partitions",
+            "schism_entries",
+            "chiller_entries",
+            "schism/chiller",
+        ],
         &rows,
     );
 }

@@ -1,0 +1,275 @@
+//! Distributed optimistic concurrency control — the paper's optimistic
+//! baseline (MaaT-inspired; see DESIGN.md for the substitution note).
+//!
+//! Waves issue lock-free versioned reads; commit runs a parallel validate
+//! round (latch the write set NO_WAIT, check that every observed version
+//! is still current) followed by a decide round that applies writes and
+//! releases latches — or, on validation failure, a release-only round
+//! before the retry backoff.
+
+use super::{abort_attempt, drive, finish_commit, Coord, CoordinatorProtocol, FailKind, Phase};
+use crate::engine::EngineActor;
+use crate::msg::{Msg, OccReadItem, ValidateItem};
+use crate::protocol::Protocol;
+use chiller_common::ids::{NodeId, OpId, PartitionId, RecordId, TxnId};
+use chiller_common::value::Row;
+use chiller_simnet::{Ctx, Verb};
+use chiller_sproc::op::OpKind;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+/// Strategy singleton for [`Protocol::Occ`].
+pub struct OccCoordinator;
+
+impl CoordinatorProtocol for OccCoordinator {
+    fn protocol(&self) -> Protocol {
+        Protocol::Occ
+    }
+
+    fn wave_message(&self, coord: &Coord, txn: TxnId, req: u64, ops: &[OpId]) -> Msg {
+        Msg::OccRead {
+            txn,
+            req,
+            items: ops
+                .iter()
+                .map(|&id| {
+                    let op = coord.proc.op(id);
+                    OccReadItem {
+                        op: id,
+                        record: coord.ops[id.idx()]
+                            .record
+                            .expect("resolved before dispatch"),
+                        want_row: op.kind.produces_output(),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    fn on_waves_complete(
+        &self,
+        eng: &mut EngineActor,
+        ctx: &mut Ctx<'_, Msg>,
+        txn: TxnId,
+        coord: &mut Coord,
+    ) {
+        send_validate(eng, ctx, txn, coord);
+    }
+
+    fn on_response(
+        &self,
+        eng: &mut EngineActor,
+        ctx: &mut Ctx<'_, Msg>,
+        src: NodeId,
+        txn: TxnId,
+        coord: &mut Coord,
+        msg: Msg,
+    ) {
+        match msg {
+            Msg::OccReadResp { req, rows, .. } => {
+                absorb_occ_read_resp(eng, ctx, coord, req, rows);
+                drive(eng, ctx, txn, coord);
+            }
+            Msg::OccValidateResp { ok, .. } => {
+                on_validate_resp(eng, ctx, src, txn, coord, ok);
+            }
+            Msg::OccDecideAck { .. } => {
+                coord.pending = coord.pending.saturating_sub(1);
+                if coord.pending == 0 {
+                    match coord.phase {
+                        Phase::Committing => finish_commit(eng, ctx, coord),
+                        Phase::Aborting => abort_attempt(eng, ctx, txn, coord),
+                        _ => {}
+                    }
+                }
+            }
+            Msg::ReplicateAck { .. } => {
+                coord.pending = coord.pending.saturating_sub(1);
+                if coord.pending == 0 && coord.phase == Phase::Committing {
+                    finish_commit(eng, ctx, coord);
+                }
+            }
+            other => {
+                debug_assert!(false, "OCC coordinator received {other:?}");
+            }
+        }
+    }
+}
+
+/// Absorb one lock-free versioned read response.
+fn absorb_occ_read_resp(
+    eng: &mut EngineActor,
+    ctx: &mut Ctx<'_, Msg>,
+    coord: &mut Coord,
+    req: u64,
+    rows: Vec<(OpId, Option<Row>, u64)>,
+) {
+    coord.pending -= 1;
+    ctx.use_cpu(eng.op_cpu());
+    coord.inflight.remove(&req);
+    for (op_id, row, version) in rows {
+        let st = &mut coord.ops[op_id.idx()];
+        st.responded = true;
+        st.version = version;
+        let kind = coord.proc.op(op_id).kind.clone();
+        match (row, kind) {
+            (Some(r), OpKind::Read { .. }) => {
+                coord.ops[op_id.idx()].raw_row = Some(r.clone());
+                coord.exec.set_output(op_id, r);
+            }
+            (Some(r), OpKind::Update(_)) => {
+                coord.ops[op_id.idx()].raw_row = Some(r);
+            }
+            (None, OpKind::Insert(_)) => {}
+            (Some(_), OpKind::Insert(_)) => {
+                coord.failed = Some(FailKind::Logic); // duplicate key
+            }
+            (Some(r), OpKind::Delete) => {
+                coord.ops[op_id.idx()].raw_row = Some(r);
+            }
+            (None, OpKind::Delete) => {} // validated by version at commit
+            (None, _) => {
+                coord.failed = Some(FailKind::Logic); // record missing
+            }
+        }
+    }
+}
+
+/// Parallel validation round: per touched partition, latch the write set
+/// and check read versions.
+fn send_validate(eng: &mut EngineActor, ctx: &mut Ctx<'_, Msg>, txn: TxnId, coord: &mut Coord) {
+    ctx.use_cpu(eng.txn_cpu());
+    coord.phase = Phase::Validating;
+    coord.pending = 0;
+    coord.validated_ok.clear();
+    let write_set: HashSet<RecordId> = coord.writes.iter().map(|(_, w)| w.record).collect();
+    let mut items_by_part: BTreeMap<PartitionId, Vec<ValidateItem>> = BTreeMap::new();
+    for st in &coord.ops {
+        let (Some(rid), Some(part)) = (st.record, st.partition) else {
+            continue;
+        };
+        let entry = items_by_part.entry(part).or_default();
+        if let Some(existing) = entry.iter_mut().find(|it| it.record == rid) {
+            existing.is_write |= write_set.contains(&rid);
+            continue;
+        }
+        entry.push(ValidateItem {
+            record: rid,
+            version: st.version,
+            is_write: write_set.contains(&rid),
+        });
+    }
+    for (part, items) in items_by_part {
+        ctx.send(
+            NodeId(part.0),
+            Verb::OneSided,
+            Msg::OccValidate { txn, items },
+        );
+        coord.pending += 1;
+    }
+    if coord.pending == 0 {
+        finish_commit(eng, ctx, coord);
+    }
+}
+
+/// One partition's validation verdict; once all are in, run the decide
+/// round (or abort if nothing needs releasing).
+fn on_validate_resp(
+    eng: &mut EngineActor,
+    ctx: &mut Ctx<'_, Msg>,
+    src: NodeId,
+    txn: TxnId,
+    coord: &mut Coord,
+    ok: bool,
+) {
+    ctx.use_cpu(eng.op_cpu());
+    coord.pending -= 1;
+    if ok {
+        coord.validated_ok.push(PartitionId(src.0));
+    } else {
+        coord.failed = Some(FailKind::Transient);
+    }
+    if coord.pending > 0 {
+        return;
+    }
+    let commit = coord.failed.is_none();
+    occ_decide(eng, ctx, txn, coord, commit);
+    if !commit && coord.pending == 0 {
+        abort_attempt(eng, ctx, txn, coord);
+    }
+}
+
+/// Decide round after all validation responses are in: on commit, ship
+/// writes + latch releases to every participant (and replicate); on
+/// abort, release latches held by the partitions that validated OK.
+fn occ_decide(
+    eng: &mut EngineActor,
+    ctx: &mut Ctx<'_, Msg>,
+    txn: TxnId,
+    coord: &mut Coord,
+    commit: bool,
+) {
+    coord.phase = if commit {
+        Phase::Committing
+    } else {
+        Phase::Aborting
+    };
+    coord.pending = 0;
+    let write_set: HashSet<RecordId> = coord.writes.iter().map(|(_, w)| w.record).collect();
+    let mut writes_by_part: BTreeMap<PartitionId, Vec<_>> = BTreeMap::new();
+    for (p, w) in &coord.writes {
+        writes_by_part.entry(*p).or_default().push(w.clone());
+    }
+    let targets: Vec<PartitionId> = if commit {
+        coord.participants.iter().copied().collect()
+    } else {
+        coord.validated_ok.clone()
+    };
+    for part in targets {
+        let writes = if commit {
+            writes_by_part.remove(&part).unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+        let latched: Vec<RecordId> = coord
+            .ops
+            .iter()
+            .filter(|st| st.partition == Some(part))
+            .filter_map(|st| st.record)
+            .filter(|r| write_set.contains(r))
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        if commit && !writes.is_empty() {
+            for replica in eng.replica_nodes(part) {
+                ctx.send(
+                    replica,
+                    Verb::Rpc,
+                    Msg::Replicate {
+                        txn,
+                        partition: part,
+                        writes: writes.clone(),
+                        ack_coordinator: true,
+                    },
+                );
+                coord.pending += 1;
+            }
+        }
+        if !commit && latched.is_empty() {
+            continue;
+        }
+        ctx.send(
+            NodeId(part.0),
+            Verb::OneSided,
+            Msg::OccDecide {
+                txn,
+                commit,
+                writes,
+                latched,
+            },
+        );
+        coord.pending += 1;
+    }
+    if coord.pending == 0 && commit {
+        finish_commit(eng, ctx, coord);
+    }
+}

@@ -1,126 +1,49 @@
-//! The execution engine: one actor per node, playing coordinator for
+//! The execution engine shell: one actor per node, playing coordinator for
 //! transactions it originates and participant for storage it owns.
 //!
-//! ## Coordinator model
+//! This module is deliberately **protocol-agnostic**. It owns the stores,
+//! metrics, input source, retry timers and the table of open transactions,
+//! and routes messages:
 //!
-//! A stored procedure executes in **dependency waves**: every operation
-//! whose key is resolvable and whose pk-dependencies are satisfied is issued
-//! (batched per partition) in parallel; responses unlock the next wave. This
-//! mirrors how a NAM-DB coordinator overlaps one-sided verbs, and gives
-//! 2-wave execution for typical TPC-C transactions.
+//! * participant-side verbs (lock/read, write-back, validation, inner
+//!   execution, replication) go to the storage-owner handlers in
+//!   [`crate::participant`];
+//! * coordinator-side responses go to the active
+//!   [`CoordinatorProtocol`](crate::coordinator::CoordinatorProtocol)
+//!   strategy, selected once at construction from
+//!   [`Protocol`](crate::protocol::Protocol).
 //!
-//! Per protocol:
-//! * **2PL** — waves issue combined lock+read verbs; once every op holds its
-//!   lock, commit write-backs + unlocks go out with the prepare piggybacked
-//!   (Figure 3a), alongside replication to each written partition's
-//!   replicas.
-//! * **Chiller** — the §3.3 run-time decision splits ops into outer/inner.
-//!   Waves cover the outer region only; once outer locks are held and outer
-//!   guards pass, the inner region is delegated by RPC to the inner host,
-//!   which commits unilaterally and fire-and-forget replicates (§5). The
-//!   coordinator resumes outer phase 2 after the inner result *and* the
-//!   inner replicas' acks arrive, then commits the outer region.
-//! * **OCC** — waves issue lock-free versioned reads; commit runs a parallel
-//!   validate round (latch write set, check versions) followed by a decide
-//!   round.
+//! Everything protocol-specific — the §3.3 region decision, wave message
+//! types, prepare/validate rounds, decide/replicate handling — lives behind
+//! the `CoordinatorProtocol` trait in [`crate::coordinator`], with one
+//! implementation per paper protocol (`chiller`, `two_pl`, `occ`).
 //!
 //! Up to `concurrency` transactions are open per engine (the paper's
 //! co-routines): the actor interleaves their state machines as messages
-//! arrive. NO_WAIT aborts retry the *same input* after a backoff, so
-//! contention behaves like the paper's closed-loop clients.
+//! arrive. NO_WAIT aborts retry the *same input* after a jittered
+//! exponential backoff, so contention behaves like the paper's closed-loop
+//! clients.
 
+use crate::coordinator::{self, strategy_for, Coord, CoordinatorProtocol, Phase};
 use crate::input::{InputSource, ProcRegistry, TxnInput};
-use crate::msg::{LockReadItem, Msg, OccReadItem, ValidateItem, WriteItem, WriteKind};
+use crate::msg::Msg;
 use crate::protocol::Protocol;
 use chiller_common::config::SimConfig;
-use chiller_common::ids::{NodeId, OpId, PartitionId, RecordId, TxnId};
+use chiller_common::ids::{NodeId, PartitionId, RecordId, TxnId};
 use chiller_common::metrics::MetricSet;
 use chiller_common::rng::{derive_seed, seeded};
 use chiller_common::time::{Duration, SimTime};
-use chiller_common::value::Row;
 use chiller_simnet::{Actor, Ctx, Verb};
-use chiller_sproc::decision::GuardSite;
-use chiller_sproc::op::OpKind;
-use chiller_sproc::{decide_regions, ExecState, Procedure, RegionSplit};
-use chiller_storage::lock::LockMode;
+use chiller_sproc::ExecState;
 use chiller_storage::placement::Placement;
 use chiller_storage::store::PartitionStore;
 use rand::rngs::StdRng;
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 const TOKEN_START: u64 = 1 << 32;
 const TOKEN_RETRY: u64 = 2 << 32;
 const TOKEN_MASK: u64 = (1 << 32) - 1;
-
-/// Per-operation execution bookkeeping.
-#[derive(Debug, Clone, Default)]
-struct OpState {
-    issued: bool,
-    responded: bool,
-    computed: bool,
-    record: Option<RecordId>,
-    partition: Option<PartitionId>,
-    raw_row: Option<Row>,
-    /// Version observed at read time (OCC only).
-    version: u64,
-}
-
-/// Why a transaction attempt failed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum FailKind {
-    /// NO_WAIT lock conflict or OCC validation failure: retry.
-    Transient,
-    /// Guard violation / existence fault: final.
-    Logic,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Phase {
-    /// Waves in flight (lock+read or versioned read).
-    Executing,
-    /// Chiller: waiting for the inner result + inner replica acks.
-    InnerWait,
-    /// OCC: waiting for validate responses.
-    Validating,
-    /// Waiting for commit/decide/replication acks.
-    Committing,
-    /// OCC abort: waiting for latch-release acks before retrying.
-    Aborting,
-    /// Terminal: the coordinator entry must not be reinserted.
-    Done,
-}
-
-/// Coordinator state for one in-flight transaction attempt.
-struct Coord {
-    slot: usize,
-    input: TxnInput,
-    proc: Arc<Procedure>,
-    exec: ExecState,
-    split: RegionSplit,
-    ops: Vec<OpState>,
-    guards_checked: Vec<bool>,
-    phase: Phase,
-    pending: usize,
-    failed: Option<FailKind>,
-    /// Request-id → ops carried by that in-flight access message.
-    inflight: HashMap<u64, Vec<OpId>>,
-    next_req: u64,
-    /// Outer locks currently held.
-    held_locks: Vec<(PartitionId, RecordId)>,
-    /// Buffered writes (applied at commit).
-    writes: Vec<(PartitionId, WriteItem)>,
-    /// All partitions this attempt touched.
-    participants: BTreeSet<PartitionId>,
-    /// Chiller: inner-region progress.
-    inner_sent: bool,
-    inner_ok: bool,
-    /// OCC: partitions that responded OK to validation (holding latches).
-    validated_ok: Vec<PartitionId>,
-    /// Retry bookkeeping (attempts includes the current one).
-    attempts: u32,
-    first_start: SimTime,
-}
 
 /// Everything needed to construct an engine node.
 pub struct EngineParams {
@@ -143,21 +66,23 @@ pub struct EngineReport {
     pub metrics: MetricSet,
 }
 
-/// One simulated node: partition storage + execution engine.
+/// One simulated node: partition storage + execution engine shell.
 pub struct EngineActor {
     pub(crate) node: NodeId,
-    num_nodes: usize,
-    protocol: Protocol,
+    pub(crate) num_nodes: usize,
+    /// The active coordinator strategy (stateless; selected from the
+    /// configured [`Protocol`] at construction).
+    pub(crate) strategy: &'static dyn CoordinatorProtocol,
     pub(crate) config: SimConfig,
     pub(crate) registry: Arc<ProcRegistry>,
-    placement: Arc<dyn Placement + Send + Sync>,
+    pub(crate) placement: Arc<dyn Placement + Send + Sync>,
     pub(crate) hot: Arc<HashSet<RecordId>>,
     pub(crate) store: PartitionStore,
     pub(crate) replicas: HashMap<PartitionId, PartitionStore>,
     source: Box<dyn InputSource>,
-    rng: StdRng,
+    pub(crate) rng: StdRng,
     txn_seq: u64,
-    txns: HashMap<TxnId, Coord>,
+    pub(crate) txns: HashMap<TxnId, Coord>,
     /// Inputs waiting for their retry backoff, per slot.
     retries: HashMap<usize, (TxnInput, u32, SimTime)>,
     /// When false, slots finishing their transaction do not pull new input
@@ -172,7 +97,7 @@ impl EngineActor {
         EngineActor {
             node: params.node,
             num_nodes: params.num_nodes,
-            protocol: params.protocol,
+            strategy: strategy_for(params.protocol),
             config: params.config,
             registry: params.registry,
             placement: params.placement,
@@ -187,6 +112,11 @@ impl EngineActor {
             accepting: true,
             metrics: MetricSet::new(),
         }
+    }
+
+    /// The protocol this engine runs (derived from the active strategy).
+    pub fn protocol(&self) -> Protocol {
+        self.strategy.protocol()
     }
 
     /// Stop pulling new inputs; in-flight transactions run to completion
@@ -219,11 +149,16 @@ impl EngineActor {
         self.txns.len()
     }
 
-    fn op_cpu(&self) -> Duration {
+    /// Clear accumulated metrics (used to discard warm-up).
+    pub fn reset_metrics(&mut self) {
+        self.metrics = MetricSet::new();
+    }
+
+    pub(crate) fn op_cpu(&self) -> Duration {
         Duration::from_nanos(self.config.engine.op_cpu_ns)
     }
 
-    fn txn_cpu(&self) -> Duration {
+    pub(crate) fn txn_cpu(&self) -> Duration {
         Duration::from_nanos(self.config.engine.txn_overhead_cpu_ns)
     }
 
@@ -239,13 +174,38 @@ impl EngineActor {
             .collect()
     }
 
-    fn proc_name(&self, input: &TxnInput) -> &'static str {
+    pub(crate) fn proc_name(&self, input: &TxnInput) -> &'static str {
         self.registry.get(input.proc).name
     }
 
     // ------------------------------------------------------------------
-    // Transaction lifecycle
+    // Slot scheduling (closed-loop driver)
     // ------------------------------------------------------------------
+
+    /// Schedule a fresh transaction on `slot` immediately (commit or final
+    /// abort frees the slot).
+    pub(crate) fn schedule_fresh_start(&mut self, ctx: &mut Ctx<'_, Msg>, slot: usize) {
+        ctx.set_timer(Duration::ZERO, TOKEN_START | slot as u64);
+    }
+
+    /// Schedule a retry of `input` on `slot` after a jittered exponential
+    /// backoff (fixed backoff lets NO_WAIT retry storms phase-lock into
+    /// livelock under heavy contention).
+    pub(crate) fn schedule_retry(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        slot: usize,
+        input: TxnInput,
+        attempts: u32,
+        first_start: SimTime,
+    ) {
+        let exp = attempts.min(6);
+        let base = self.config.engine.retry_backoff.as_nanos() << exp;
+        let jitter = 0.5 + rand::Rng::gen::<f64>(&mut self.rng);
+        let backoff = Duration::from_nanos((base as f64 * jitter) as u64);
+        self.retries.insert(slot, (input, attempts, first_start));
+        ctx.set_timer(backoff, TOKEN_RETRY | slot as u64);
+    }
 
     fn start_fresh(&mut self, ctx: &mut Ctx<'_, Msg>, slot: usize) {
         if !self.accepting {
@@ -255,6 +215,8 @@ impl EngineActor {
         self.start_attempt(ctx, slot, input, 0, ctx.now());
     }
 
+    /// Admit one transaction attempt: ask the strategy for the region
+    /// split (§3.3 steps 1–2), then drive its first wave.
     fn start_attempt(
         &mut self,
         ctx: &mut Ctx<'_, Msg>,
@@ -268,696 +230,10 @@ impl EngineActor {
         let txn = TxnId::new(self.node, self.txn_seq);
         let proc = self.registry.get(input.proc).clone();
         let exec = ExecState::new(input.params.clone(), proc.num_ops());
-
-        // §3.3 steps 1–2: region decision (Chiller only; baselines always
-        // run single-region).
-        let split = if self.protocol == Protocol::Chiller {
-            let mut op_partition = Vec::with_capacity(proc.num_ops());
-            let mut op_hot = Vec::with_capacity(proc.num_ops());
-            for op in &proc.ops {
-                let rid = op
-                    .decision_key(&exec)
-                    .map(|k| RecordId::new(op.table, k));
-                op_partition.push(rid.map(|r| self.placement.partition_of(r)));
-                op_hot.push(rid.map(|r| self.hot.contains(&r)).unwrap_or(false));
-            }
-            decide_regions(&proc, &op_partition, &op_hot)
-        } else {
-            RegionSplit::all_outer(&proc)
-        };
-
-        let n = proc.num_ops();
-        let num_guards = proc.guards.len();
-        self.txns.insert(
-            txn,
-            Coord {
-                slot,
-                input,
-                proc,
-                exec,
-                split,
-                ops: vec![OpState::default(); n],
-                guards_checked: vec![false; num_guards],
-                phase: Phase::Executing,
-                pending: 0,
-                failed: None,
-                inflight: HashMap::new(),
-                next_req: 0,
-                held_locks: Vec::new(),
-                writes: Vec::new(),
-                participants: BTreeSet::new(),
-                inner_sent: false,
-                inner_ok: false,
-                validated_ok: Vec::new(),
-                attempts: prior_attempts + 1,
-                first_start,
-            },
-        );
-        self.drive(ctx, txn);
-    }
-
-    /// The set of ops the wave stage may issue: the outer region for
-    /// two-region transactions, everything otherwise.
-    fn in_scope(coord: &Coord, op: OpId) -> bool {
-        if coord.split.is_two_region() {
-            coord.split.outer_ops.contains(&op)
-        } else {
-            true
-        }
-    }
-
-    /// Advance a transaction through its current stage. Takes the
-    /// coordinator out of the map and reinserts it unless it finished.
-    fn drive(&mut self, ctx: &mut Ctx<'_, Msg>, txn: TxnId) {
-        let Some(mut coord) = self.txns.remove(&txn) else {
-            return;
-        };
-        if coord.failed.is_none() {
-            self.compute_pass(ctx, &mut coord);
-            self.check_guards(&mut coord);
-        }
-
-        if coord.failed.is_some() {
-            if coord.pending == 0 {
-                self.abort_attempt(ctx, txn, coord);
-            } else {
-                // Wait for in-flight responses (they may grant locks that
-                // must be released on abort).
-                self.txns.insert(txn, coord);
-            }
-            return;
-        }
-
-        let issued = self.issue_wave(ctx, txn, &mut coord);
-        if issued > 0 || coord.pending > 0 {
-            self.txns.insert(txn, coord);
-            return;
-        }
-
-        // Stage complete: everything in scope responded, nothing issuable.
-        debug_assert!(
-            (0..coord.proc.num_ops())
-                .all(|i| !Self::in_scope(&coord, OpId(i as u16)) || coord.ops[i].responded),
-            "wave stalled with unresolved in-scope ops"
-        );
-
-        match self.protocol {
-            Protocol::Chiller if coord.split.is_two_region() && !coord.inner_sent => {
-                self.send_inner(ctx, txn, &mut coord);
-            }
-            Protocol::Occ => {
-                self.send_validate(ctx, txn, &mut coord);
-            }
-            _ => {
-                self.commit_locked(ctx, txn, &mut coord);
-            }
-        }
-        if coord.phase != Phase::Done {
-            self.txns.insert(txn, coord);
-        }
-    }
-
-    /// Finalize every op whose inputs are available: compute update rows,
-    /// build insert rows, buffer writes.
-    fn compute_pass(&mut self, ctx: &mut Ctx<'_, Msg>, coord: &mut Coord) {
-        loop {
-            let mut progressed = false;
-            for i in 0..coord.proc.num_ops() {
-                if coord.ops[i].computed || !coord.ops[i].responded {
-                    continue;
-                }
-                let op = coord.proc.op(OpId(i as u16)).clone();
-                if !op.value_deps.iter().all(|d| coord.exec.output(*d).is_some()) {
-                    continue;
-                }
-                let rid = coord.ops[i].record.expect("responded implies resolved");
-                let part = coord.ops[i].partition.expect("responded implies resolved");
-                match &op.kind {
-                    OpKind::Read { .. } => {} // output set at response time
-                    OpKind::Update(apply) => {
-                        ctx.use_cpu(self.op_cpu());
-                        let raw = coord.ops[i].raw_row.clone().expect("update read a row");
-                        let new = apply(&raw, &coord.exec);
-                        coord.exec.set_output(op.id, new.clone());
-                        coord
-                            .writes
-                            .push((part, WriteItem { record: rid, kind: WriteKind::Put(new) }));
-                    }
-                    OpKind::Insert(build) => {
-                        ctx.use_cpu(self.op_cpu());
-                        let row = build(&coord.exec);
-                        coord
-                            .writes
-                            .push((part, WriteItem { record: rid, kind: WriteKind::Insert(row) }));
-                    }
-                    OpKind::Delete => {
-                        coord
-                            .writes
-                            .push((part, WriteItem { record: rid, kind: WriteKind::Delete }));
-                    }
-                }
-                coord.ops[i].computed = true;
-                progressed = true;
-            }
-            if !progressed {
-                break;
-            }
-        }
-    }
-
-    /// Evaluate every unchecked guard whose deps are available. Inner-site
-    /// guards are the inner host's responsibility.
-    fn check_guards(&mut self, coord: &mut Coord) {
-        for gi in 0..coord.proc.guards.len() {
-            if coord.guards_checked[gi] {
-                continue;
-            }
-            if coord.split.is_two_region() && coord.split.guard_sites[gi] == GuardSite::Inner {
-                continue;
-            }
-            let guard = &coord.proc.guards[gi];
-            if !guard.deps.iter().all(|d| coord.exec.output(*d).is_some()) {
-                continue;
-            }
-            coord.guards_checked[gi] = true;
-            if (guard.check)(&coord.exec).is_err() {
-                coord.failed = Some(FailKind::Logic);
-                return;
-            }
-        }
-    }
-
-    pub(crate) fn lock_mode_for(op: &chiller_sproc::op::Op) -> LockMode {
-        match &op.kind {
-            OpKind::Read { for_update: false } => LockMode::Shared,
-            _ => LockMode::Exclusive,
-        }
-    }
-
-    /// Issue every in-scope op whose key is resolvable, batched per
-    /// partition. Returns the number of messages sent.
-    fn issue_wave(&mut self, ctx: &mut Ctx<'_, Msg>, txn: TxnId, coord: &mut Coord) -> usize {
-        let mut per_partition: BTreeMap<PartitionId, Vec<OpId>> = BTreeMap::new();
-        for i in 0..coord.proc.num_ops() {
-            let id = OpId(i as u16);
-            if coord.ops[i].issued || !Self::in_scope(coord, id) {
-                continue;
-            }
-            let op = coord.proc.op(id);
-            let Some(key) = op.key.resolve(&coord.exec) else {
-                continue;
-            };
-            let rid = RecordId::new(op.table, key);
-            let part = self.placement.partition_of(rid);
-            coord.ops[i].issued = true;
-            coord.ops[i].record = Some(rid);
-            coord.ops[i].partition = Some(part);
-            coord.participants.insert(part);
-            per_partition.entry(part).or_default().push(id);
-            ctx.use_cpu(self.op_cpu());
-        }
-        let n = per_partition.len();
-        for (part, op_ids) in per_partition {
-            let target = NodeId(part.0);
-            coord.next_req += 1;
-            let req = coord.next_req;
-            coord.inflight.insert(req, op_ids.clone());
-            let msg = match self.protocol {
-                Protocol::Occ => Msg::OccRead {
-                    txn,
-                    req,
-                    items: op_ids
-                        .iter()
-                        .map(|&id| {
-                            let op = coord.proc.op(id);
-                            OccReadItem {
-                                op: id,
-                                record: coord.ops[id.idx()].record.expect("just set"),
-                                want_row: op.kind.produces_output(),
-                            }
-                        })
-                        .collect(),
-                },
-                _ => Msg::LockRead {
-                    txn,
-                    req,
-                    items: op_ids
-                        .iter()
-                        .map(|&id| {
-                            let op = coord.proc.op(id);
-                            LockReadItem {
-                                op: id,
-                                record: coord.ops[id.idx()].record.expect("just set"),
-                                mode: Self::lock_mode_for(op),
-                                want_row: op.kind.produces_output(),
-                                expect_absent: matches!(op.kind, OpKind::Insert(_)),
-                            }
-                        })
-                        .collect(),
-                },
-            };
-            let verb = msg.verb();
-            ctx.send(target, verb, msg);
-            coord.pending += 1;
-        }
-        n
-    }
-
-    /// §3.3 step 4: ship the inner region to the inner host.
-    fn send_inner(&mut self, ctx: &mut Ctx<'_, Msg>, txn: TxnId, coord: &mut Coord) {
-        let host = coord.split.inner_host.expect("two-region");
-        coord.participants.insert(host);
-        let inner_has_writes = coord
-            .split
-            .inner_ops
-            .iter()
-            .any(|id| coord.proc.op(*id).kind.is_write());
-        let expect_replica_acks = if inner_has_writes {
-            self.replica_nodes(host).len()
-        } else {
-            0
-        };
-        let outer_outputs: Vec<(OpId, Row)> = (0..coord.proc.num_ops() as u16)
-            .map(OpId)
-            .filter_map(|id| coord.exec.output(id).map(|r| (id, r.clone())))
-            .collect();
-        let inner_guards: Vec<usize> = coord
-            .split
-            .guard_sites
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| **s == GuardSite::Inner)
-            .map(|(i, _)| i)
-            .collect();
-        ctx.send(
-            NodeId(host.0),
-            Verb::Rpc,
-            Msg::ExecInner {
-                txn,
-                proc: coord.input.proc,
-                params: coord.input.params.clone(),
-                outer_outputs,
-                inner_ops: coord.split.inner_ops.clone(),
-                inner_guards,
-                expect_replica_acks,
-            },
-        );
-        coord.inner_sent = true;
-        coord.phase = Phase::InnerWait;
-        coord.pending = 1 + expect_replica_acks;
-    }
-
-    /// Commit for lock-based execution (2PL, Chiller outer phase 2).
-    fn commit_locked(&mut self, ctx: &mut Ctx<'_, Msg>, txn: TxnId, coord: &mut Coord) {
-        debug_assert!(
-            coord
-                .ops
-                .iter()
-                .enumerate()
-                .all(|(i, st)| !Self::in_scope(coord, OpId(i as u16)) || st.computed),
-            "committing with uncomputed ops"
-        );
-        ctx.use_cpu(self.txn_cpu());
-        coord.phase = Phase::Committing;
-        coord.pending = 0;
-
-        let mut writes_by_part: BTreeMap<PartitionId, Vec<WriteItem>> = BTreeMap::new();
-        for (p, w) in coord.writes.drain(..) {
-            writes_by_part.entry(p).or_default().push(w);
-        }
-        let mut unlocks_by_part: BTreeMap<PartitionId, Vec<RecordId>> = BTreeMap::new();
-        for (p, rid) in coord.held_locks.drain(..) {
-            unlocks_by_part.entry(p).or_default().push(rid);
-        }
-        let parts: BTreeSet<PartitionId> = writes_by_part
-            .keys()
-            .chain(unlocks_by_part.keys())
-            .copied()
-            .collect();
-        for part in parts {
-            let writes = writes_by_part.remove(&part).unwrap_or_default();
-            let unlocks = unlocks_by_part.remove(&part).unwrap_or_default();
-            if !writes.is_empty() {
-                for replica in self.replica_nodes(part) {
-                    ctx.send(
-                        replica,
-                        Verb::Rpc,
-                        Msg::Replicate {
-                            txn,
-                            partition: part,
-                            writes: writes.clone(),
-                            ack_coordinator: true,
-                        },
-                    );
-                    coord.pending += 1;
-                }
-            }
-            ctx.send(
-                NodeId(part.0),
-                Verb::OneSided,
-                Msg::CommitOuter { txn, writes, unlocks },
-            );
-            coord.pending += 1;
-        }
-        if coord.pending == 0 {
-            self.finish_commit(ctx, txn, coord);
-        }
-    }
-
-    /// OCC: parallel validation round.
-    fn send_validate(&mut self, ctx: &mut Ctx<'_, Msg>, txn: TxnId, coord: &mut Coord) {
-        ctx.use_cpu(self.txn_cpu());
-        coord.phase = Phase::Validating;
-        coord.pending = 0;
-        coord.validated_ok.clear();
-        let write_set: HashSet<RecordId> = coord.writes.iter().map(|(_, w)| w.record).collect();
-        let mut items_by_part: BTreeMap<PartitionId, Vec<ValidateItem>> = BTreeMap::new();
-        for st in &coord.ops {
-            let (Some(rid), Some(part)) = (st.record, st.partition) else {
-                continue;
-            };
-            let entry = items_by_part.entry(part).or_default();
-            if let Some(existing) = entry.iter_mut().find(|it| it.record == rid) {
-                existing.is_write |= write_set.contains(&rid);
-                continue;
-            }
-            entry.push(ValidateItem {
-                record: rid,
-                version: st.version,
-                is_write: write_set.contains(&rid),
-            });
-        }
-        for (part, items) in items_by_part {
-            ctx.send(NodeId(part.0), Verb::OneSided, Msg::OccValidate { txn, items });
-            coord.pending += 1;
-        }
-        if coord.pending == 0 {
-            self.finish_commit(ctx, txn, coord);
-        }
-    }
-
-    /// OCC decide round after all validation responses are in.
-    fn occ_decide(&mut self, ctx: &mut Ctx<'_, Msg>, txn: TxnId, coord: &mut Coord, commit: bool) {
-        coord.phase = if commit { Phase::Committing } else { Phase::Aborting };
-        coord.pending = 0;
-        let write_set: HashSet<RecordId> = coord.writes.iter().map(|(_, w)| w.record).collect();
-        let mut writes_by_part: BTreeMap<PartitionId, Vec<WriteItem>> = BTreeMap::new();
-        for (p, w) in &coord.writes {
-            writes_by_part.entry(*p).or_default().push(w.clone());
-        }
-        let targets: Vec<PartitionId> = if commit {
-            coord.participants.iter().copied().collect()
-        } else {
-            coord.validated_ok.clone()
-        };
-        for part in targets {
-            let writes = if commit {
-                writes_by_part.remove(&part).unwrap_or_default()
-            } else {
-                Vec::new()
-            };
-            let latched: Vec<RecordId> = coord
-                .ops
-                .iter()
-                .filter(|st| st.partition == Some(part))
-                .filter_map(|st| st.record)
-                .filter(|r| write_set.contains(r))
-                .collect::<BTreeSet<_>>()
-                .into_iter()
-                .collect();
-            if commit && !writes.is_empty() {
-                for replica in self.replica_nodes(part) {
-                    ctx.send(
-                        replica,
-                        Verb::Rpc,
-                        Msg::Replicate {
-                            txn,
-                            partition: part,
-                            writes: writes.clone(),
-                            ack_coordinator: true,
-                        },
-                    );
-                    coord.pending += 1;
-                }
-            }
-            if !commit && latched.is_empty() {
-                continue;
-            }
-            ctx.send(
-                NodeId(part.0),
-                Verb::OneSided,
-                Msg::OccDecide { txn, commit, writes, latched },
-            );
-            coord.pending += 1;
-        }
-        if coord.pending == 0 && commit {
-            self.finish_commit(ctx, txn, coord);
-        }
-    }
-
-    /// Account a successful commit and free the slot. Sets `Phase::Done`.
-    fn finish_commit(&mut self, ctx: &mut Ctx<'_, Msg>, _txn: TxnId, coord: &mut Coord) {
-        let name = self.proc_name(&coord.input).to_owned();
-        let distributed = coord.participants.len() > 1;
-        let stats = self.metrics.type_stats(&name);
-        stats.commits += 1;
-        if distributed {
-            stats.distributed_commits += 1;
-        }
-        let latency = ctx.now().saturating_since(coord.first_start);
-        self.metrics.latency.record_duration(latency);
-        coord.phase = Phase::Done;
-        ctx.set_timer(Duration::ZERO, TOKEN_START | coord.slot as u64);
-    }
-
-    /// Abort the current attempt: release outer locks, account, and retry
-    /// (transient) or give up (logic). Consumes the coordinator.
-    fn abort_attempt(&mut self, ctx: &mut Ctx<'_, Msg>, txn: TxnId, mut coord: Coord) {
-        let mut unlocks_by_part: BTreeMap<PartitionId, Vec<RecordId>> = BTreeMap::new();
-        for (p, rid) in coord.held_locks.drain(..) {
-            unlocks_by_part.entry(p).or_default().push(rid);
-        }
-        for (part, unlocks) in unlocks_by_part {
-            ctx.send(NodeId(part.0), Verb::OneSided, Msg::AbortOuter { txn, unlocks });
-        }
-        let kind = coord.failed.expect("abort without failure");
-        let name = self.proc_name(&coord.input).to_owned();
-        let slot = coord.slot;
-        match kind {
-            FailKind::Transient => {
-                self.metrics.type_stats(&name).aborts += 1;
-                if coord.attempts >= self.config.engine.max_retries {
-                    ctx.set_timer(Duration::ZERO, TOKEN_START | slot as u64);
-                } else {
-                    // Jittered exponential backoff: fixed backoff lets
-                    // NO_WAIT retry storms phase-lock into livelock under
-                    // heavy contention.
-                    let exp = coord.attempts.min(6);
-                    let base = self.config.engine.retry_backoff.as_nanos() << exp;
-                    let jitter = 0.5 + rand::Rng::gen::<f64>(&mut self.rng);
-                    let backoff = Duration::from_nanos((base as f64 * jitter) as u64);
-                    self.retries
-                        .insert(slot, (coord.input, coord.attempts, coord.first_start));
-                    ctx.set_timer(backoff, TOKEN_RETRY | slot as u64);
-                }
-            }
-            FailKind::Logic => {
-                self.metrics.type_stats(&name).logic_aborts += 1;
-                ctx.set_timer(Duration::ZERO, TOKEN_START | slot as u64);
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Coordinator-side response handlers
-    // ------------------------------------------------------------------
-
-    fn on_lock_read_resp(
-        &mut self,
-        ctx: &mut Ctx<'_, Msg>,
-        txn: TxnId,
-        req: u64,
-        granted: bool,
-        missing: Option<RecordId>,
-        rows: Vec<(OpId, Row)>,
-    ) {
-        let Some(mut coord) = self.txns.remove(&txn) else {
-            return;
-        };
-        coord.pending -= 1;
-        ctx.use_cpu(self.op_cpu());
-        let ops = coord.inflight.remove(&req).expect("unknown request id");
-        if granted {
-            for &id in &ops {
-                let st = &mut coord.ops[id.idx()];
-                st.responded = true;
-                coord
-                    .held_locks
-                    .push((st.partition.expect("issued"), st.record.expect("issued")));
-            }
-            for (op_id, row) in rows {
-                let st = &mut coord.ops[op_id.idx()];
-                st.raw_row = Some(row.clone());
-                if matches!(coord.proc.op(op_id).kind, OpKind::Read { .. }) {
-                    coord.exec.set_output(op_id, row);
-                }
-            }
-        } else if missing.is_some() {
-            coord.failed = Some(FailKind::Logic);
-        } else {
-            coord.failed = Some(FailKind::Transient);
-        }
-        self.txns.insert(txn, coord);
-        self.drive(ctx, txn);
-    }
-
-    fn on_occ_read_resp(
-        &mut self,
-        ctx: &mut Ctx<'_, Msg>,
-        txn: TxnId,
-        req: u64,
-        rows: Vec<(OpId, Option<Row>, u64)>,
-    ) {
-        let Some(mut coord) = self.txns.remove(&txn) else {
-            return;
-        };
-        coord.pending -= 1;
-        ctx.use_cpu(self.op_cpu());
-        coord.inflight.remove(&req);
-        for (op_id, row, version) in rows {
-            let st = &mut coord.ops[op_id.idx()];
-            st.responded = true;
-            st.version = version;
-            let kind = coord.proc.op(op_id).kind.clone();
-            match (row, kind) {
-                (Some(r), OpKind::Read { .. }) => {
-                    coord.ops[op_id.idx()].raw_row = Some(r.clone());
-                    coord.exec.set_output(op_id, r);
-                }
-                (Some(r), OpKind::Update(_)) => {
-                    coord.ops[op_id.idx()].raw_row = Some(r);
-                }
-                (None, OpKind::Insert(_)) => {}
-                (Some(_), OpKind::Insert(_)) => {
-                    coord.failed = Some(FailKind::Logic); // duplicate key
-                }
-                (Some(r), OpKind::Delete) => {
-                    coord.ops[op_id.idx()].raw_row = Some(r);
-                }
-                (None, OpKind::Delete) => {} // validated by version at commit
-                (None, _) => {
-                    coord.failed = Some(FailKind::Logic); // record missing
-                }
-            }
-        }
-        self.txns.insert(txn, coord);
-        self.drive(ctx, txn);
-    }
-
-    fn on_inner_result(
-        &mut self,
-        ctx: &mut Ctx<'_, Msg>,
-        txn: TxnId,
-        committed: bool,
-        outputs: Vec<(OpId, Row)>,
-        retryable: bool,
-    ) {
-        let Some(mut coord) = self.txns.remove(&txn) else {
-            return;
-        };
-        ctx.use_cpu(self.op_cpu());
-        coord.pending -= 1;
-        if committed {
-            coord.inner_ok = true;
-            for (op, row) in outputs {
-                coord.exec.set_output(op, row);
-            }
-            for id in coord.split.inner_ops.clone() {
-                coord.ops[id.idx()].responded = true;
-                coord.ops[id.idx()].computed = true;
-            }
-            if coord.pending == 0 {
-                self.compute_pass(ctx, &mut coord);
-                self.commit_locked(ctx, txn, &mut coord);
-            }
-            if coord.phase != Phase::Done {
-                self.txns.insert(txn, coord);
-            }
-        } else {
-            coord.failed = Some(if retryable {
-                FailKind::Transient
-            } else {
-                FailKind::Logic
-            });
-            // Inner replicas never replicate on abort: drop their count.
-            coord.pending = 0;
-            self.abort_attempt(ctx, txn, coord);
-        }
-    }
-
-    fn on_replicate_ack(&mut self, ctx: &mut Ctx<'_, Msg>, txn: TxnId) {
-        let Some(mut coord) = self.txns.remove(&txn) else {
-            return;
-        };
-        coord.pending = coord.pending.saturating_sub(1);
-        if coord.pending == 0 {
-            match coord.phase {
-                Phase::InnerWait if coord.inner_ok => {
-                    self.compute_pass(ctx, &mut coord);
-                    self.commit_locked(ctx, txn, &mut coord);
-                }
-                Phase::Committing => self.finish_commit(ctx, txn, &mut coord),
-                _ => {}
-            }
-        }
-        if coord.phase != Phase::Done {
-            self.txns.insert(txn, coord);
-        }
-    }
-
-    fn on_commit_ack(&mut self, ctx: &mut Ctx<'_, Msg>, txn: TxnId) {
-        let Some(mut coord) = self.txns.remove(&txn) else {
-            return;
-        };
-        coord.pending = coord.pending.saturating_sub(1);
-        if coord.pending == 0 {
-            match coord.phase {
-                Phase::Committing => {
-                    self.finish_commit(ctx, txn, &mut coord);
-                }
-                Phase::Aborting => {
-                    self.abort_attempt(ctx, txn, coord);
-                    return;
-                }
-                _ => {}
-            }
-        }
-        if coord.phase != Phase::Done {
-            self.txns.insert(txn, coord);
-        }
-    }
-
-    fn on_validate_resp(&mut self, ctx: &mut Ctx<'_, Msg>, src: NodeId, txn: TxnId, ok: bool) {
-        let Some(mut coord) = self.txns.remove(&txn) else {
-            return;
-        };
-        ctx.use_cpu(self.op_cpu());
-        coord.pending -= 1;
-        if ok {
-            coord.validated_ok.push(PartitionId(src.0));
-        } else {
-            coord.failed = Some(FailKind::Transient);
-        }
-        if coord.pending > 0 {
-            self.txns.insert(txn, coord);
-            return;
-        }
-        let commit = coord.failed.is_none();
-        self.occ_decide(ctx, txn, &mut coord, commit);
-        if !commit && coord.pending == 0 {
-            self.abort_attempt(ctx, txn, coord);
-            return;
-        }
+        let strategy = self.strategy;
+        let split = strategy.admission_split(self, &proc, &exec);
+        let mut coord = Coord::new(slot, input, proc, exec, split, prior_attempts, first_start);
+        coordinator::drive(self, ctx, txn, &mut coord);
         if coord.phase != Phase::Done {
             self.txns.insert(txn, coord);
         }
@@ -975,11 +251,14 @@ impl Actor<Msg> for EngineActor {
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, src: NodeId, _verb: Verb, msg: Msg) {
         match msg {
-            // Participant side.
+            // Participant side: storage-owner handlers (protocol-agnostic
+            // verb semantics; see `crate::participant`).
             Msg::LockRead { txn, req, items } => self.handle_lock_read(ctx, src, txn, req, items),
-            Msg::CommitOuter { txn, writes, unlocks } => {
-                self.handle_commit_outer(ctx, src, txn, writes, unlocks)
-            }
+            Msg::CommitOuter {
+                txn,
+                writes,
+                unlocks,
+            } => self.handle_commit_outer(ctx, src, txn, writes, unlocks),
             Msg::AbortOuter { txn, unlocks } => self.handle_abort_outer(ctx, txn, unlocks),
             Msg::ExecInner {
                 txn,
@@ -999,29 +278,39 @@ impl Actor<Msg> for EngineActor {
                 inner_ops,
                 inner_guards,
             ),
-            Msg::Replicate { txn, partition, writes, ack_coordinator } => {
-                self.handle_replicate(ctx, txn, partition, writes, ack_coordinator)
-            }
+            Msg::Replicate {
+                txn,
+                partition,
+                writes,
+                ack_coordinator,
+            } => self.handle_replicate(ctx, txn, partition, writes, ack_coordinator),
             Msg::OccRead { txn, req, items } => self.handle_occ_read(ctx, src, txn, req, items),
             Msg::OccValidate { txn, items } => self.handle_occ_validate(ctx, src, txn, items),
-            Msg::OccDecide { txn, commit, writes, latched } => {
-                self.handle_occ_decide(ctx, src, txn, commit, writes, latched)
-            }
+            Msg::OccDecide {
+                txn,
+                commit,
+                writes,
+                latched,
+            } => self.handle_occ_decide(ctx, src, txn, commit, writes, latched),
 
-            // Coordinator side.
-            Msg::LockReadResp { txn, req, granted, conflict: _, missing, rows } => {
-                self.on_lock_read_resp(ctx, txn, req, granted, missing, rows)
-            }
-            Msg::OccReadResp { txn, req, rows } => self.on_occ_read_resp(ctx, txn, req, rows),
-            Msg::InnerResult { txn, committed, outputs, retryable } => {
-                self.on_inner_result(ctx, txn, committed, outputs, retryable)
-            }
-            Msg::ReplicateAck { txn } => self.on_replicate_ack(ctx, txn),
-            Msg::CommitOuterAck { txn } | Msg::OccDecideAck { txn } => {
-                self.on_commit_ack(ctx, txn)
-            }
-            Msg::OccValidateResp { txn, ok, conflict: _ } => {
-                self.on_validate_resp(ctx, src, txn, ok)
+            // Coordinator side: responses for an open transaction are
+            // routed to the active protocol strategy.
+            response @ (Msg::LockReadResp { .. }
+            | Msg::OccReadResp { .. }
+            | Msg::InnerResult { .. }
+            | Msg::ReplicateAck { .. }
+            | Msg::CommitOuterAck { .. }
+            | Msg::OccDecideAck { .. }
+            | Msg::OccValidateResp { .. }) => {
+                let txn = response.txn();
+                let Some(mut coord) = self.txns.remove(&txn) else {
+                    return;
+                };
+                let strategy = self.strategy;
+                strategy.on_response(self, ctx, src, txn, &mut coord, response);
+                if coord.phase != Phase::Done {
+                    self.txns.insert(txn, coord);
+                }
             }
         }
     }
@@ -1035,12 +324,5 @@ impl Actor<Msg> for EngineActor {
                 self.start_attempt(ctx, slot, input, attempts, first_start);
             }
         }
-    }
-}
-
-impl EngineActor {
-    /// Clear accumulated metrics (used to discard warm-up).
-    pub fn reset_metrics(&mut self) {
-        self.metrics = MetricSet::new();
     }
 }

@@ -98,8 +98,14 @@ mod tests {
     #[test]
     fn scripted_source_round_robins() {
         let mut src = ScriptedSource::new(vec![
-            TxnInput { proc: 0, params: vec![Value::I64(1)] },
-            TxnInput { proc: 1, params: vec![Value::I64(2)] },
+            TxnInput {
+                proc: 0,
+                params: vec![Value::I64(1)],
+            },
+            TxnInput {
+                proc: 1,
+                params: vec![Value::I64(2)],
+            },
         ]);
         let mut rng = seeded(0);
         assert_eq!(src.next_input(&mut rng).proc, 0);

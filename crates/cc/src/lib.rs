@@ -22,13 +22,20 @@
 //! coordinator role for transactions it originates and the participant role
 //! for storage it owns, interleaving up to `concurrency` open transactions
 //! exactly like the paper's co-routines (§6).
+//!
+//! The engine itself is a protocol-agnostic shell: everything
+//! protocol-specific lives behind the
+//! [`coordinator::CoordinatorProtocol`] strategy trait, with one
+//! implementation per protocol under [`coordinator`].
 
+pub mod coordinator;
 pub mod engine;
 pub mod input;
 pub mod msg;
 pub mod participant;
 pub mod protocol;
 
+pub use coordinator::CoordinatorProtocol;
 pub use engine::{EngineActor, EngineReport};
 pub use input::{InputSource, ProcRegistry, TxnInput};
 pub use msg::Msg;

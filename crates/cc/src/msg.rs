@@ -62,7 +62,11 @@ pub enum Msg {
     // ---- 2PL / Chiller outer region (one-sided verbs) -------------------
     /// Combined CAS-lock + READ of a batch of records on one partition.
     /// `req` correlates the response with the coordinator's wave bookkeeping.
-    LockRead { txn: TxnId, req: u64, items: Vec<LockReadItem> },
+    LockRead {
+        txn: TxnId,
+        req: u64,
+        items: Vec<LockReadItem>,
+    },
     /// Reply: on failure every item in *this* message is already released.
     LockReadResp {
         txn: TxnId,
@@ -81,9 +85,14 @@ pub enum Msg {
         writes: Vec<WriteItem>,
         unlocks: Vec<RecordId>,
     },
-    CommitOuterAck { txn: TxnId },
+    CommitOuterAck {
+        txn: TxnId,
+    },
     /// Release locks without applying anything (abort path).
-    AbortOuter { txn: TxnId, unlocks: Vec<RecordId> },
+    AbortOuter {
+        txn: TxnId,
+        unlocks: Vec<RecordId>,
+    },
 
     // ---- Chiller inner region (RPCs) -------------------------------------
     /// Delegate the inner region to the inner host (§3.3 step 4).
@@ -122,11 +131,17 @@ pub enum Msg {
         ack_coordinator: bool,
     },
     /// Replica → coordinator ack for inner-region replication.
-    ReplicateAck { txn: TxnId },
+    ReplicateAck {
+        txn: TxnId,
+    },
 
     // ---- OCC --------------------------------------------------------------
     /// Lock-free versioned read (one-sided).
-    OccRead { txn: TxnId, req: u64, items: Vec<OccReadItem> },
+    OccRead {
+        txn: TxnId,
+        req: u64,
+        items: Vec<OccReadItem>,
+    },
     OccReadResp {
         txn: TxnId,
         req: u64,
@@ -134,7 +149,10 @@ pub enum Msg {
         rows: Vec<(OpId, Option<Row>, u64)>,
     },
     /// Parallel validation: latch write set, check read versions.
-    OccValidate { txn: TxnId, items: Vec<ValidateItem> },
+    OccValidate {
+        txn: TxnId,
+        items: Vec<ValidateItem>,
+    },
     OccValidateResp {
         txn: TxnId,
         ok: bool,
@@ -148,7 +166,9 @@ pub enum Msg {
         /// Latches taken by the validate round that must be dropped.
         latched: Vec<RecordId>,
     },
-    OccDecideAck { txn: TxnId },
+    OccDecideAck {
+        txn: TxnId,
+    },
 }
 
 impl Msg {
@@ -208,7 +228,11 @@ mod tests {
     fn txn_extraction_covers_variants() {
         let t = TxnId::new(NodeId(1), 7);
         let msgs = vec![
-            Msg::LockRead { txn: t, req: 0, items: vec![] },
+            Msg::LockRead {
+                txn: t,
+                req: 0,
+                items: vec![],
+            },
             Msg::CommitOuterAck { txn: t },
             Msg::ReplicateAck { txn: t },
             Msg::OccDecideAck { txn: t },
@@ -221,7 +245,15 @@ mod tests {
     #[test]
     fn verb_classes() {
         let t = TxnId::new(NodeId(0), 1);
-        assert_eq!(Msg::LockRead { txn: t, req: 0, items: vec![] }.verb(), Verb::OneSided);
+        assert_eq!(
+            Msg::LockRead {
+                txn: t,
+                req: 0,
+                items: vec![]
+            }
+            .verb(),
+            Verb::OneSided
+        );
         assert_eq!(
             Msg::Replicate {
                 txn: t,

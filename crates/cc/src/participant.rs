@@ -19,9 +19,13 @@ impl EngineActor {
     pub(crate) fn unlock_with_metrics(&mut self, rid: RecordId, txn: TxnId, now: SimTime) {
         if let Some(rel) = self.store.unlock(rid, txn, now) {
             if self.hot.contains(&rid) {
-                self.metrics.hot_contention_span.record_duration(rel.held_for);
+                self.metrics
+                    .hot_contention_span
+                    .record_duration(rel.held_for);
             } else {
-                self.metrics.cold_contention_span.record_duration(rel.held_for);
+                self.metrics
+                    .cold_contention_span
+                    .record_duration(rel.held_for);
             }
         }
     }
@@ -60,7 +64,10 @@ impl EngineActor {
             if item.want_row {
                 rows.push((
                     item.op,
-                    self.store.read(item.record).expect("existence checked").clone(),
+                    self.store
+                        .read(item.record)
+                        .expect("existence checked")
+                        .clone(),
                 ));
             }
         }
@@ -96,7 +103,9 @@ impl EngineActor {
                     .expect("insert validated under lock");
             }
             WriteKind::Delete => {
-                self.store.delete(w.record).expect("delete validated under lock");
+                self.store
+                    .delete(w.record)
+                    .expect("delete validated under lock");
             }
         }
     }
@@ -117,7 +126,11 @@ impl EngineActor {
         for rid in unlocks {
             self.unlock_with_metrics(rid, txn, now);
         }
-        ctx.send(src, chiller_simnet::Verb::OneSided, Msg::CommitOuterAck { txn });
+        ctx.send(
+            src,
+            chiller_simnet::Verb::OneSided,
+            Msg::CommitOuterAck { txn },
+        );
     }
 
     /// Release locks on the abort path (no ack needed: NO_WAIT retries are
@@ -193,7 +206,11 @@ impl EngineActor {
                 (it.op, row, self.store.version(it.record))
             })
             .collect();
-        ctx.send(src, chiller_simnet::Verb::OneSided, Msg::OccReadResp { txn, req, rows });
+        ctx.send(
+            src,
+            chiller_simnet::Verb::OneSided,
+            Msg::OccReadResp { txn, req, rows },
+        );
     }
 
     /// Validation: latch the write set (NO_WAIT), then check that every
@@ -211,7 +228,10 @@ impl EngineActor {
         let mut conflict = None;
         for it in &items {
             if it.is_write {
-                match self.store.try_lock(it.record, txn, LockMode::Exclusive, now) {
+                match self
+                    .store
+                    .try_lock(it.record, txn, LockMode::Exclusive, now)
+                {
                     Ok(()) => latched.push(it.record),
                     Err(_) => {
                         conflict = Some(it.record);
@@ -257,7 +277,11 @@ impl EngineActor {
         for rid in latched {
             self.unlock_with_metrics(rid, txn, now);
         }
-        ctx.send(src, chiller_simnet::Verb::OneSided, Msg::OccDecideAck { txn });
+        ctx.send(
+            src,
+            chiller_simnet::Verb::OneSided,
+            Msg::OccDecideAck { txn },
+        );
     }
 }
 
@@ -311,7 +335,7 @@ impl EngineActor {
                 self.node,
                 "inner host must own its partition"
             );
-            let mode = Self::lock_mode_for(op);
+            let mode = crate::coordinator::lock_mode_for(op);
             if self.store.try_lock(rid, txn, mode, now).is_err() {
                 fail = Some(true);
                 break;
@@ -334,14 +358,23 @@ impl EngineActor {
                     let new = apply(&raw, &exec);
                     exec.set_output(id, new.clone());
                     produced.push(id);
-                    writes.push(WriteItem { record: rid, kind: WriteKind::Put(new) });
+                    writes.push(WriteItem {
+                        record: rid,
+                        kind: WriteKind::Put(new),
+                    });
                 }
                 OpKind::Insert(build) => {
                     let row = build(&exec);
-                    writes.push(WriteItem { record: rid, kind: WriteKind::Insert(row) });
+                    writes.push(WriteItem {
+                        record: rid,
+                        kind: WriteKind::Insert(row),
+                    });
                 }
                 OpKind::Delete => {
-                    writes.push(WriteItem { record: rid, kind: WriteKind::Delete });
+                    writes.push(WriteItem {
+                        record: rid,
+                        kind: WriteKind::Delete,
+                    });
                 }
             }
         }

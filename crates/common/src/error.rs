@@ -78,7 +78,11 @@ mod tests {
         let txn = TxnId::new(NodeId(0), 1);
         assert!(ChillerError::LockConflict { txn, record: rid() }.is_retryable());
         assert!(ChillerError::ValidationFailed { txn, record: rid() }.is_retryable());
-        assert!(!ChillerError::LogicAbort { txn, reason: "no stock" }.is_retryable());
+        assert!(!ChillerError::LogicAbort {
+            txn,
+            reason: "no stock"
+        }
+        .is_retryable());
         assert!(!ChillerError::RecordNotFound(rid()).is_retryable());
     }
 

@@ -41,6 +41,9 @@ impl RunSpec {
     }
 }
 
+/// Per-node factory producing each engine's transaction input stream.
+pub type SourceFactory = Box<dyn Fn(NodeId) -> Box<dyn InputSource>>;
+
 /// Builder for a simulated cluster: one node per partition, each running
 /// one execution engine (the paper's one-engine-per-core deployment).
 pub struct ClusterBuilder {
@@ -52,7 +55,7 @@ pub struct ClusterBuilder {
     placement: Option<Arc<dyn Placement + Send + Sync>>,
     hot: HashSet<RecordId>,
     records: Vec<(RecordId, Row)>,
-    source_factory: Option<Box<dyn Fn(NodeId) -> Box<dyn InputSource>>>,
+    source_factory: Option<SourceFactory>,
 }
 
 impl ClusterBuilder {
@@ -119,7 +122,9 @@ impl ClusterBuilder {
             .source_factory
             .ok_or_else(|| ChillerError::Config("no input source configured".into()))?;
         if self.registry.is_empty() {
-            return Err(ChillerError::Config("no stored procedures registered".into()));
+            return Err(ChillerError::Config(
+                "no stored procedures registered".into(),
+            ));
         }
         let placement: Arc<dyn Placement + Send + Sync> = self
             .placement
@@ -141,9 +146,7 @@ impl ClusterBuilder {
             .map(|n| {
                 (1..=replica_count)
                     .map(|i| {
-                        let p = PartitionId(
-                            ((n + self.nodes - i) % self.nodes) as u32,
-                        );
+                        let p = PartitionId(((n + self.nodes - i) % self.nodes) as u32);
                         (p, PartitionStore::new(p, self.schema.clone()))
                     })
                     .collect()

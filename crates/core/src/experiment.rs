@@ -29,9 +29,7 @@ where
     let mut queue: Vec<(usize, P)> = points.into_iter().enumerate().collect();
     let chunk = queue.len().div_ceil(max_threads.max(1)).max(1);
     while !queue.is_empty() {
-        let batch: Vec<(usize, P)> = queue
-            .drain(..chunk.min(queue.len()))
-            .collect();
+        let batch: Vec<(usize, P)> = queue.drain(..chunk.min(queue.len())).collect();
         let tx = tx.clone();
         let f = f.clone();
         handles.push(thread::spawn(move || {

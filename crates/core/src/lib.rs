@@ -62,9 +62,7 @@ pub mod prelude {
     pub use crate::report::RunReport;
     pub use chiller_cc::input::{InputSource, ProcRegistry, ScriptedSource, TxnInput};
     pub use chiller_cc::Protocol;
-    pub use chiller_common::config::{
-        EngineConfig, NetworkConfig, ReplicationConfig, SimConfig,
-    };
+    pub use chiller_common::config::{EngineConfig, NetworkConfig, ReplicationConfig, SimConfig};
     pub use chiller_common::ids::{NodeId, PartitionId, RecordId, TableId, TxnId};
     pub use chiller_common::time::{Duration, SimTime};
     pub use chiller_common::value::{Row, Value};

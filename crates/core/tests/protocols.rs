@@ -51,7 +51,7 @@ impl InputSource for TransferSource {
     fn next_input(&mut self, rng: &mut rand::rngs::StdRng) -> TxnInput {
         let hot = rng.gen::<f64>() < self.hot_fraction;
         let (a, b) = if hot {
-            (rng.gen_range(0..4), 4 + rng.gen_range(0..4))
+            (rng.gen_range(0..4u64), 4 + rng.gen_range(0..4u64))
         } else {
             let a = rng.gen_range(8..NUM_ACCOUNTS);
             let mut b = rng.gen_range(8..NUM_ACCOUNTS);
@@ -62,11 +62,7 @@ impl InputSource for TransferSource {
         };
         TxnInput {
             proc: self.proc,
-            params: vec![
-                Value::I64(a as i64),
-                Value::I64(b as i64),
-                Value::F64(1.0),
-            ],
+            params: vec![Value::I64(a as i64), Value::I64(b as i64), Value::F64(1.0)],
         }
     }
 }
@@ -204,7 +200,10 @@ fn different_seeds_differ() {
 fn contention_causes_aborts_in_2pl_but_commits_still_flow() {
     let mut cluster = build_cluster(Protocol::TwoPhaseLocking, 8, 21);
     let report = cluster.run(RunSpec::millis(1, 10));
-    assert!(report.total_aborts() > 0, "hot set must cause NO_WAIT aborts");
+    assert!(
+        report.total_aborts() > 0,
+        "hot set must cause NO_WAIT aborts"
+    );
     assert!(report.total_commits() > 0);
     check_invariants(&mut cluster, "2pl-hot");
 }
@@ -342,7 +341,11 @@ fn read_only_transactions_commit_without_aborting_anyone() {
         let mut cluster = builder.build().unwrap();
         let report = cluster.run(RunSpec::millis(0, 5));
         assert!(report.total_commits() > 0, "{protocol}");
-        assert_eq!(report.total_aborts(), 0, "{protocol}: shared locks conflict-free");
+        assert_eq!(
+            report.total_aborts(),
+            0,
+            "{protocol}: shared locks conflict-free"
+        );
         cluster.quiesce();
     }
 }

@@ -52,11 +52,8 @@ impl ChillerPartitioner {
         let mut collector = StatsCollector::new();
         collector.observe_all(trace);
 
-        let likelihoods: HashMap<RecordId, f64> = self
-            .model
-            .all_likelihoods(&collector)
-            .into_iter()
-            .collect();
+        let likelihoods: HashMap<RecordId, f64> =
+            self.model.all_likelihoods(&collector).into_iter().collect();
         let accesses: HashMap<RecordId, f64> = collector
             .records()
             .map(|(r, s)| (*r, s.reads + s.writes))
@@ -179,7 +176,10 @@ mod tests {
             let h2 = zipf.sample(&mut rng) as u64;
             let c1 = 1_000 + rng.gen_range(0..50_000u64);
             let c2 = 1_000 + rng.gen_range(0..50_000u64);
-            txns.push(TxnTrace::new(vec![rid(c1), rid(c2)], vec![rid(h1), rid(h2)]));
+            txns.push(TxnTrace::new(
+                vec![rid(c1), rid(c2)],
+                vec![rid(h1), rid(h2)],
+            ));
         }
         WorkloadTrace::new(txns, 10_000_000)
     }
@@ -272,4 +272,3 @@ mod tests {
         assert_eq!(a.num_hot(), b.num_hot());
     }
 }
-

@@ -324,7 +324,8 @@ mod tests {
             LoadMetric::Records,
             0.0,
         );
-        let (cg, _, _) = build_clique_graph(std::slice::from_ref(&txn), |_| 1.0, LoadMetric::Records);
+        let (cg, _, _) =
+            build_clique_graph(std::slice::from_ref(&txn), |_| 1.0, LoadMetric::Records);
         assert_eq!(sg.graph.num_edges(), 10);
         assert_eq!(cg.num_edges(), 45);
     }

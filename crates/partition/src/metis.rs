@@ -85,7 +85,8 @@ impl MetisLike {
         let mut current: Graph = g.clone();
         let mut round = 0u64;
         while current.num_vertices() > target {
-            let (coarse, map) = coarsen(&current, chiller_common::rng::derive_seed(self.seed, round));
+            let (coarse, map) =
+                coarsen(&current, chiller_common::rng::derive_seed(self.seed, round));
             round += 1;
             // Stop when matching stops making progress (dense graphs).
             if coarse.num_vertices() as f64 > current.num_vertices() as f64 * 0.95 {
@@ -121,7 +122,13 @@ impl MetisLike {
                 fine_assignment[v] = assignment[cv as usize];
             }
             assignment = fine_assignment;
-            refine(&fine, &mut assignment, self.k, self.epsilon, self.max_passes);
+            refine(
+                &fine,
+                &mut assignment,
+                self.k,
+                self.epsilon,
+                self.max_passes,
+            );
             current = fine;
         }
         debug_assert_eq!(current.num_vertices(), n);
@@ -179,12 +186,10 @@ fn coarsen(g: &Graph, seed: u64) -> (Graph, Vec<u32>) {
                 }
             }
         }
-        match best {
-            Some((u, _)) => {
-                mate[v as usize] = u;
-                mate[u as usize] = v;
-            }
-            None => {} // try two-hop matching below
+        // On None: try two-hop matching below.
+        if let Some((u, _)) = best {
+            mate[v as usize] = u;
+            mate[u as usize] = v;
         }
     }
 
@@ -222,12 +227,10 @@ fn coarsen(g: &Graph, seed: u64) -> (Graph, Vec<u32>) {
                 scan_pos[u as usize] += 1;
             }
         }
-        match found {
-            Some(u) => {
-                mate[v as usize] = u;
-                mate[u as usize] = v;
-            }
-            None => {} // final fallback pass below
+        // On None: the final fallback pass below handles it.
+        if let Some(u) = found {
+            mate[v as usize] = u;
+            mate[u as usize] = v;
         }
     }
 
@@ -271,8 +274,8 @@ fn coarsen(g: &Graph, seed: u64) -> (Graph, Vec<u32>) {
 
     // Build coarse graph.
     let mut coarse = Graph::with_vertices(next as usize);
-    for v in 0..n {
-        coarse.vwgt[map[v] as usize] += g.vwgt[v];
+    for (&cv, &w) in map.iter().zip(&g.vwgt) {
+        coarse.vwgt[cv as usize] += w;
     }
     // Accumulate edges via a scratch map to avoid O(deg^2) duplicate scans.
     let mut scratch: std::collections::HashMap<(u32, u32), f64> = std::collections::HashMap::new();
@@ -294,7 +297,7 @@ fn coarsen(g: &Graph, seed: u64) -> (Graph, Vec<u32>) {
     }
     // Deterministic adjacency order regardless of hash iteration.
     for nbrs in &mut coarse.adj {
-        nbrs.sort_by(|a, b| a.0.cmp(&b.0));
+        nbrs.sort_by_key(|a| a.0);
     }
     (coarse, map)
 }
@@ -452,8 +455,7 @@ fn fm_rollback_pass(g: &Graph, assignment: &mut [u32], k: u32, epsilon: f64) -> 
                 let better = match best {
                     None => true,
                     Some((bg, _, bt)) => {
-                        gain > bg + 1e-12
-                            || ((gain - bg).abs() <= 1e-12 && loads[to] < loads[bt])
+                        gain > bg + 1e-12 || ((gain - bg).abs() <= 1e-12 && loads[to] < loads[bt])
                     }
                 };
                 if better {
@@ -526,8 +528,7 @@ fn refine(g: &Graph, assignment: &mut [u32], k: u32, epsilon: f64, max_passes: u
                 // half of a pairwise swap) pass through a transient overshoot
                 // that later passes / the repair phase rebalance — the role
                 // classic FM's tentative negative-gain sequences play.
-                let fits = loads[to] + g.vwgt[v] <= ceiling
-                    || (gain > 1e-12 && loads[to] <= mu);
+                let fits = loads[to] + g.vwgt[v] <= ceiling || (gain > 1e-12 && loads[to] <= mu);
                 if !fits {
                     continue;
                 }
@@ -632,7 +633,11 @@ mod tests {
     fn bisects_two_clusters_along_bridge() {
         let g = two_clusters(20);
         let res = MetisLike::new(2, 0.05, 42).partition(&g);
-        assert!(res.cut <= 0.1 + 1e-9, "cut={} should be the bridge", res.cut);
+        assert!(
+            res.cut <= 0.1 + 1e-9,
+            "cut={} should be the bridge",
+            res.cut
+        );
         assert!(res.imbalance() <= 1.05 + 1e-9);
         // Clusters must be pure.
         let p0 = res.assignment[0];
@@ -785,7 +790,10 @@ mod hub_regression {
         assert!(res.cut < 50.0, "cut={} must be cold edges only", res.cut);
         assert_eq!(res.assignment[0], res.assignment[1], "pair (0,1) split");
         assert_eq!(res.assignment[2], res.assignment[3], "pair (2,3) split");
-        assert_ne!(res.assignment[0], res.assignment[2], "balance requires separation");
+        assert_ne!(
+            res.assignment[0], res.assignment[2],
+            "balance requires separation"
+        );
         assert!(res.imbalance() <= 1.06, "imbalance={}", res.imbalance());
     }
 }

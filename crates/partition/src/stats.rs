@@ -171,8 +171,20 @@ mod tests {
         let mut c = StatsCollector::new();
         c.observe(&TxnTrace::new(vec![rid(1), rid(2)], vec![rid(1)]));
         c.observe(&TxnTrace::new(vec![], vec![rid(1)]));
-        assert_eq!(c.stats(rid(1)), RecordStats { reads: 1.0, writes: 2.0 });
-        assert_eq!(c.stats(rid(2)), RecordStats { reads: 1.0, writes: 0.0 });
+        assert_eq!(
+            c.stats(rid(1)),
+            RecordStats {
+                reads: 1.0,
+                writes: 2.0
+            }
+        );
+        assert_eq!(
+            c.stats(rid(2)),
+            RecordStats {
+                reads: 1.0,
+                writes: 0.0
+            }
+        );
         assert_eq!(c.stats(rid(9)), RecordStats::default());
         assert_eq!(c.txns_seen(), 2);
     }
@@ -201,7 +213,9 @@ mod tests {
     #[test]
     fn sampling_preserves_rate_statistically() {
         let trace = WorkloadTrace::new(
-            (0..10_000).map(|i| TxnTrace::new(vec![rid(i % 10)], vec![])).collect(),
+            (0..10_000)
+                .map(|i| TxnTrace::new(vec![rid(i % 10)], vec![]))
+                .collect(),
             1_000,
         );
         let (sampled, inv) = trace.sampled(0.1, 42);

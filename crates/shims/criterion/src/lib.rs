@@ -1,0 +1,176 @@
+//! Offline stand-in for `criterion`: a small wall-clock benchmark harness.
+//!
+//! Exposes the subset of the criterion API the workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Instead of rigorous
+//! statistics it reports the mean wall-clock time per iteration over an
+//! adaptive number of iterations bounded by a per-benchmark time budget,
+//! which is enough to compare building-block costs and catch gross
+//! regressions without any external dependencies.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped (accepted for API compatibility; the
+/// shim always re-runs setup per batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumIterations(u64),
+}
+
+/// Per-benchmark time budget (after one warm-up call).
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+const MAX_ITERS: u64 = 1_000_000;
+
+/// Runs one benchmark routine and records timing.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Time `routine` repeatedly until the budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up, untimed
+        let started = Instant::now();
+        while started.elapsed() < MEASURE_BUDGET && self.iters < MAX_ITERS {
+            let t = Instant::now();
+            black_box(routine());
+            self.total += t.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up, untimed
+        let started = Instant::now();
+        while started.elapsed() < MEASURE_BUDGET && self.iters < MAX_ITERS {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.total += t.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.iters == 0 {
+            println!("{id:<44} (no iterations completed)");
+            return;
+        }
+        let per_iter = self.total.as_nanos() as f64 / self.iters as f64;
+        let (value, unit) = if per_iter >= 1e9 {
+            (per_iter / 1e9, "s")
+        } else if per_iter >= 1e6 {
+            (per_iter / 1e6, "ms")
+        } else if per_iter >= 1e3 {
+            (per_iter / 1e3, "µs")
+        } else {
+            (per_iter, "ns")
+        };
+        println!("{id:<44} {value:>10.2} {unit}/iter  ({} iters)", self.iters);
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(id);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("-- group: {name} --");
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's budget is time-based.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(3)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::PerIteration)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, quick);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`: marker traits plus no-op derives.
+//!
+//! Nothing in the workspace serializes values yet — the derives on config
+//! and metric types exist so downstream tooling can switch to the real
+//! `serde` by flipping the path dependency. The derive macros (from the
+//! sibling `serde_derive` shim) expand to nothing, so these traits are
+//! *not* implemented by deriving types; don't write bounds against them.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}
+
+/// Owned-deserialization alias mirroring serde's.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}

@@ -1,0 +1,18 @@
+//! No-op `#[derive(Serialize, Deserialize)]` shim.
+//!
+//! The workspace derives serde traits on config/metric types for forward
+//! compatibility, but nothing serializes them yet and the build environment
+//! cannot fetch the real `serde`. These derives expand to nothing; the
+//! marker traits live in the sibling `serde` shim crate.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

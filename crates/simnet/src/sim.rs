@@ -23,7 +23,12 @@ pub enum Verb {
 /// What gets scheduled in the event queue.
 enum EventKind<M> {
     /// A network message arriving at `dst`.
-    Deliver { src: NodeId, dst: NodeId, verb: Verb, msg: M },
+    Deliver {
+        src: NodeId,
+        dst: NodeId,
+        verb: Verb,
+        msg: M,
+    },
     /// A timer registered by the actor on `node` with an opaque token.
     Timer { node: NodeId, token: u64 },
     /// Engine became free: drain the node's pending RPC queue.
@@ -85,7 +90,11 @@ impl<M> SimCore<M> {
     fn push(&mut self, at: SimTime, kind: EventKind<M>) {
         debug_assert!(at >= self.clock, "scheduling into the past");
         self.seq += 1;
-        self.queue.push(Reverse(Event { at, seq: self.seq, kind }));
+        self.queue.push(Reverse(Event {
+            at,
+            seq: self.seq,
+            kind,
+        }));
     }
 
     fn one_way_latency(&self, src: NodeId, dst: NodeId, verb: Verb) -> Duration {
@@ -157,7 +166,15 @@ impl<'a, M> Ctx<'a, M> {
                 Verb::Rpc => self.core.stats.rpc_msgs += 1,
             }
         }
-        self.core.push(arrival, EventKind::Deliver { src, dst, verb, msg });
+        self.core.push(
+            arrival,
+            EventKind::Deliver {
+                src,
+                dst,
+                verb,
+                msg,
+            },
+        );
     }
 
     /// Schedule `on_timer(token)` on this node after `d`.
@@ -312,7 +329,12 @@ impl<M, A: Actor<M>> Simulation<M, A> {
         self.core.clock = ev.at;
         self.core.stats.events_processed += 1;
         match ev.kind {
-            EventKind::Deliver { src, dst, verb, msg } => match verb {
+            EventKind::Deliver {
+                src,
+                dst,
+                verb,
+                msg,
+            } => match verb {
                 Verb::OneSided => {
                     // NIC-side: bypasses the engine queue entirely.
                     let mut ctx = Ctx {
@@ -469,8 +491,10 @@ mod tests {
         a.plan.push((NodeId(1), Verb::Rpc, 1, 0)); // arrives t=2000, busy till 12000
         a.plan.push((NodeId(1), Verb::Rpc, 2, 0)); // arrives t=2000+, queued
         a.plan.push((NodeId(1), Verb::OneSided, 3, 0)); // arrives t=1000? no: FIFO separate per verb? same link!
-        let mut b = Recorder::default();
-        b.cpu_per_rpc_ns = 10_000;
+        let b = Recorder {
+            cpu_per_rpc_ns: 10_000,
+            ..Recorder::default()
+        };
         let mut sim = Simulation::new(vec![a, b], net());
         sim.run_to_quiescence(1000);
         let recv = &sim.actors()[1].received;
@@ -521,8 +545,10 @@ mod tests {
     fn echo_round_trip_time() {
         let mut a = Recorder::default();
         a.plan.push((NodeId(1), Verb::OneSided, 1, 0));
-        let mut b = Recorder::default();
-        b.echo = true;
+        let b = Recorder {
+            echo: true,
+            ..Recorder::default()
+        };
         let mut sim = Simulation::new(vec![a, b], net());
         sim.run_to_quiescence(100);
         // RTT = 2 * one-way.
@@ -559,11 +585,15 @@ mod tests {
                 a.plan
                     .push((NodeId(1 + (i % 2) as u32), Verb::Rpc, i, (i * 13) % 700));
             }
-            let mut b = Recorder::default();
-            b.echo = true;
-            b.cpu_per_rpc_ns = 300;
-            let mut c = Recorder::default();
-            c.echo = true;
+            let b = Recorder {
+                echo: true,
+                cpu_per_rpc_ns: 300,
+                ..Recorder::default()
+            };
+            let c = Recorder {
+                echo: true,
+                ..Recorder::default()
+            };
             Simulation::new(vec![a, b, c], net())
         };
         let mut s1 = build();

@@ -67,7 +67,10 @@ impl ProcedureBuilder {
     /// row-computation reads beyond what its key already implies — the
     /// dashed v-dep edges of the paper's Figure 4).
     pub fn value_deps(mut self, deps: &[OpId]) -> Self {
-        let op = self.ops.last_mut().expect("value_deps() requires a prior op");
+        let op = self
+            .ops
+            .last_mut()
+            .expect("value_deps() requires a prior op");
         op.value_deps.extend_from_slice(deps);
         self
     }
@@ -222,7 +225,13 @@ impl ProcedureBuilder {
 
     /// Delete the record keyed by `params[key_param]`.
     pub fn delete(self, table: TableId, key_param: usize, label: &'static str) -> Self {
-        self.op(table, KeyExpr::Param(key_param), OpKind::Delete, vec![], label)
+        self.op(
+            table,
+            KeyExpr::Param(key_param),
+            OpKind::Delete,
+            vec![],
+            label,
+        )
     }
 
     /// Integrity constraint over the outputs of `deps`.
@@ -280,13 +289,19 @@ mod tests {
                 r[1] = Value::I64(r[1].as_i64() - 1); // f.seats -= 1
                 r
             })
-            .update_deps(CUSTOMER, 1, &[OpId(0), OpId(2)], "deduct balance", |row, st| {
-                let price = st.output_req(OpId(0))[2].as_f64();
-                let tax = st.output_req(OpId(2))[1].as_f64();
-                let mut r = row.clone();
-                r[1] = Value::F64(r[1].as_f64() - price * (1.0 + tax));
-                r
-            })
+            .update_deps(
+                CUSTOMER,
+                1,
+                &[OpId(0), OpId(2)],
+                "deduct balance",
+                |row, st| {
+                    let price = st.output_req(OpId(0))[2].as_f64();
+                    let tax = st.output_req(OpId(2))[1].as_f64();
+                    let mut r = row.clone();
+                    r[1] = Value::F64(r[1].as_f64() - price * (1.0 + tax));
+                    r
+                },
+            )
             .insert_with_key_from(
                 SEATS,
                 &[OpId(0)],
@@ -297,8 +312,8 @@ mod tests {
                 },
                 |st| {
                     vec![
-                        st.params()[1].clone(),                       // cust_id
-                        st.output_req(OpId(1))[1].clone(),            // c.name
+                        st.params()[1].clone(),            // cust_id
+                        st.output_req(OpId(1))[1].clone(), // c.name
                     ]
                 },
             )
@@ -364,7 +379,10 @@ mod tests {
         let hinted = p.op(OpId(5)).decision_key(&st);
         assert_eq!(hinted, Some(9u64 << 32));
         // After the flight read the real key resolves.
-        st.set_output(OpId(0), vec![Value::I64(9), Value::I64(3), Value::F64(100.0)]);
+        st.set_output(
+            OpId(0),
+            vec![Value::I64(9), Value::I64(3), Value::F64(100.0)],
+        );
         assert_eq!(p.op(OpId(5)).key.resolve(&st), Some((9u64 << 32) | 3));
     }
 
@@ -372,8 +390,19 @@ mod tests {
     fn guard_failure_reason_propagates() {
         let p = flight_booking();
         let mut st = ExecState::new(vec![Value::I64(9), Value::I64(1)], p.num_ops());
-        st.set_output(OpId(0), vec![Value::I64(9), Value::I64(0), Value::F64(100.0)]);
-        st.set_output(OpId(1), vec![Value::I64(1), Value::from("bob"), Value::I64(2), Value::F64(1e6)]);
+        st.set_output(
+            OpId(0),
+            vec![Value::I64(9), Value::I64(0), Value::F64(100.0)],
+        );
+        st.set_output(
+            OpId(1),
+            vec![
+                Value::I64(1),
+                Value::from("bob"),
+                Value::I64(2),
+                Value::F64(1e6),
+            ],
+        );
         st.set_output(OpId(2), vec![Value::I64(2), Value::F64(0.1)]);
         let err = (p.guards[0].check)(&st).unwrap_err();
         assert_eq!(err, "no seats left");

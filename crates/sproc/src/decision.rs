@@ -86,9 +86,9 @@ pub fn decide_regions(
         let Some(p) = op_partition[i] else {
             continue; // unknown location can never be moved inner
         };
-        self_consistent[i] = proc_.graph.pk_children[i].iter().all(|c| {
-            op_partition[c.idx()] == Some(p) && self_consistent[c.idx()]
-        });
+        self_consistent[i] = proc_.graph.pk_children[i]
+            .iter()
+            .all(|c| op_partition[c.idx()] == Some(p) && self_consistent[c.idx()]);
     }
 
     // Step 1: candidate hot records, grouped by their partition.
@@ -220,9 +220,13 @@ mod tests {
     fn pk_child_on_other_partition_blocks_inner() {
         let pr = ProcedureBuilder::new("flightish")
             .read_for_update(TableId(1), 0, "flight")
-            .insert_with_key_from(TableId(2), &[OpId(0)], "seat", |st| {
-                st.output_req(OpId(0))[0].as_i64() as u64
-            }, |_| vec![])
+            .insert_with_key_from(
+                TableId(2),
+                &[OpId(0)],
+                "seat",
+                |st| st.output_req(OpId(0))[0].as_i64() as u64,
+                |_| vec![],
+            )
             .build()
             .unwrap();
         // flight hot on partition 1; insert lands on partition 0.
@@ -240,9 +244,13 @@ mod tests {
     fn pk_child_with_unknown_location_blocks_inner() {
         let pr = ProcedureBuilder::new("unknown_child")
             .read_for_update(TableId(1), 0, "parent")
-            .insert_with_key_from(TableId(2), &[OpId(0)], "child", |st| {
-                st.output_req(OpId(0))[0].as_i64() as u64
-            }, |_| vec![])
+            .insert_with_key_from(
+                TableId(2),
+                &[OpId(0)],
+                "child",
+                |st| st.output_req(OpId(0))[0].as_i64() as u64,
+                |_| vec![],
+            )
             .build()
             .unwrap();
         let split = decide_regions(&pr, &[p(1), None], &[true, false]);

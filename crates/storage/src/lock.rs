@@ -47,8 +47,7 @@ impl LockState {
 
     /// True if `txn` holds the lock in any mode.
     pub fn holds(&self, txn: TxnId) -> bool {
-        self.exclusive.map(|(t, _)| t) == Some(txn)
-            || self.shared.iter().any(|&(t, _)| t == txn)
+        self.exclusive.map(|(t, _)| t) == Some(txn) || self.shared.iter().any(|&(t, _)| t == txn)
     }
 
     /// Current exclusive holder, if any.
@@ -79,9 +78,8 @@ impl LockState {
                 true
             }
             LockMode::Exclusive => {
-                match self.exclusive {
-                    Some((holder, _)) => return holder == txn,
-                    None => {}
+                if let Some((holder, _)) = self.exclusive {
+                    return holder == txn;
                 }
                 match self.shared.as_slice() {
                     [] => {

@@ -100,9 +100,7 @@ impl Placement for RangePlacement {
                 let p = bounds.partition_point(|&b| b <= record.key);
                 PartitionId(p as u32)
             }
-            None => {
-                HashPlacement::new(self.fallback_partitions).partition_of(record)
-            }
+            None => HashPlacement::new(self.fallback_partitions).partition_of(record),
         }
     }
 }
@@ -225,8 +223,8 @@ mod tests {
     #[test]
     fn hash_differs_across_tables() {
         let p = HashPlacement::new(16);
-        let same_everywhere = (0..100)
-            .all(|k| p.partition_of(rid(1, k)) == p.partition_of(rid(2, k)));
+        let same_everywhere =
+            (0..100).all(|k| p.partition_of(rid(1, k)) == p.partition_of(rid(2, k)));
         assert!(!same_everywhere);
     }
 
@@ -254,7 +252,10 @@ mod tests {
         assert_eq!(lt.lookup_entries(), 1);
         // Cold records use the hash fallback.
         let cold = rid(1, 7);
-        assert_eq!(lt.partition_of(cold), HashPlacement::new(4).partition_of(cold));
+        assert_eq!(
+            lt.partition_of(cold),
+            HashPlacement::new(4).partition_of(cold)
+        );
     }
 
     #[test]

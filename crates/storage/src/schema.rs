@@ -190,7 +190,11 @@ mod tests {
     #[test]
     fn schema_lookup() {
         let mut s = Schema::new();
-        let id = s.add(TableDef::new(TableId(1), "warehouse", vec!["w_id", "w_ytd"]));
+        let id = s.add(TableDef::new(
+            TableId(1),
+            "warehouse",
+            vec!["w_id", "w_ytd"],
+        ));
         assert_eq!(s.table(id).name, "warehouse");
         assert_eq!(s.by_name("warehouse").id, id);
         assert_eq!(s.by_name("warehouse").col("w_ytd"), 1);

@@ -114,7 +114,9 @@ impl PartitionStore {
 
     /// Overwrite a record (used for committed updates and replica apply).
     pub fn write(&mut self, rid: RecordId, row: Row) {
-        self.table_mut(rid.table).bucket_for_mut(rid.key).put(rid.key, row);
+        self.table_mut(rid.table)
+            .bucket_for_mut(rid.key)
+            .put(rid.key, row);
     }
 
     /// Insert a fresh record, failing on duplicates.
@@ -236,7 +238,8 @@ mod tests {
     #[test]
     fn crud_roundtrip() {
         let mut st = store();
-        st.insert(rid(1), vec![Value::I64(1), Value::F64(10.0)]).unwrap();
+        st.insert(rid(1), vec![Value::I64(1), Value::F64(10.0)])
+            .unwrap();
         assert_eq!(st.read(rid(1)).unwrap()[1].as_f64(), 10.0);
         st.write(rid(1), vec![Value::I64(1), Value::F64(20.0)]);
         assert_eq!(st.read(rid(1)).unwrap()[1].as_f64(), 20.0);
@@ -262,7 +265,8 @@ mod tests {
     fn no_wait_lock_conflict_surfaces_error() {
         let mut st = store();
         st.insert(rid(1), vec![Value::I64(1), Value::Null]).unwrap();
-        st.try_lock(rid(1), txn(1), LockMode::Exclusive, SimTime(0)).unwrap();
+        st.try_lock(rid(1), txn(1), LockMode::Exclusive, SimTime(0))
+            .unwrap();
         let err = st
             .try_lock(rid(1), txn(2), LockMode::Shared, SimTime(0))
             .unwrap_err();
@@ -274,7 +278,8 @@ mod tests {
     fn unlock_reports_contention_span() {
         let mut st = store();
         st.insert(rid(1), vec![Value::I64(1), Value::Null]).unwrap();
-        st.try_lock(rid(1), txn(1), LockMode::Exclusive, SimTime(100)).unwrap();
+        st.try_lock(rid(1), txn(1), LockMode::Exclusive, SimTime(100))
+            .unwrap();
         let rel = st.unlock(rid(1), txn(1), SimTime(400)).unwrap();
         assert_eq!(rel.held_for.as_nanos(), 300);
         assert!(st.all_locks_free());
@@ -289,8 +294,11 @@ mod tests {
         st.load(a, vec![Value::I64(3)]);
         st.load(b, vec![Value::I64(7)]);
         st.load(c, vec![Value::I64(13)]);
-        st.try_lock(a, txn(1), LockMode::Exclusive, SimTime(0)).unwrap();
-        assert!(st.try_lock(b, txn(2), LockMode::Shared, SimTime(0)).is_err());
+        st.try_lock(a, txn(1), LockMode::Exclusive, SimTime(0))
+            .unwrap();
+        assert!(st
+            .try_lock(b, txn(2), LockMode::Shared, SimTime(0))
+            .is_err());
         assert!(st.try_lock(c, txn(2), LockMode::Shared, SimTime(0)).is_ok());
     }
 
@@ -319,7 +327,8 @@ mod tests {
         let mut st = store();
         st.load(rid(1), vec![Value::I64(1), Value::Null]);
         assert!(!st.is_locked(rid(1)));
-        st.try_lock(rid(1), txn(1), LockMode::Shared, SimTime(0)).unwrap();
+        st.try_lock(rid(1), txn(1), LockMode::Shared, SimTime(0))
+            .unwrap();
         assert!(st.is_locked(rid(1)));
         assert!(st.holds_lock(rid(1), txn(1)));
         assert!(!st.holds_lock(rid(1), txn(2)));

@@ -51,7 +51,11 @@ impl Default for FlightConfig {
 impl FlightConfig {
     pub fn schema() -> Schema {
         let mut s = Schema::new();
-        s.add(TableDef::new(FLIGHT, "flight", vec!["f_id", "f_seats", "f_price"]));
+        s.add(TableDef::new(
+            FLIGHT,
+            "flight",
+            vec!["f_id", "f_seats", "f_price"],
+        ));
         s.add(TableDef::new(
             CUSTOMER,
             "customer",
@@ -96,7 +100,9 @@ impl FlightConfig {
 
     /// Hot set: every flight row (they take all the writes).
     pub fn hot_records(&self) -> Vec<RecordId> {
-        (0..self.flights).map(|f| RecordId::new(FLIGHT, f)).collect()
+        (0..self.flights)
+            .map(|f| RecordId::new(FLIGHT, f))
+            .collect()
     }
 }
 
@@ -118,13 +124,19 @@ pub fn booking_proc() -> chiller_sproc::Procedure {
             r[F_SEATS] = Value::I64(r[F_SEATS].as_i64() - 1);
             r
         })
-        .update_deps(CUSTOMER, 1, &[OpId(0), OpId(2)], "deduct cost", |row, st| {
-            let price = st.output_req(OpId(0))[F_PRICE].as_f64();
-            let rate = st.output_req(OpId(2))[T_RATE].as_f64();
-            let mut r = row.clone();
-            r[C_BALANCE] = Value::F64(r[C_BALANCE].as_f64() - price * (1.0 + rate));
-            r
-        })
+        .update_deps(
+            CUSTOMER,
+            1,
+            &[OpId(0), OpId(2)],
+            "deduct cost",
+            |row, st| {
+                let price = st.output_req(OpId(0))[F_PRICE].as_f64();
+                let rate = st.output_req(OpId(2))[T_RATE].as_f64();
+                let mut r = row.clone();
+                r[C_BALANCE] = Value::F64(r[C_BALANCE].as_f64() - price * (1.0 + rate));
+                r
+            },
+        )
         .insert_with_key_from(
             SEATS,
             &[OpId(0)],

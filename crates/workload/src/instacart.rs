@@ -83,7 +83,11 @@ impl InstacartConfig {
     pub fn schema() -> Schema {
         let mut s = Schema::new();
         s.add(TableDef::new(STOCK, "stock", vec!["product", "quantity"]));
-        s.add(TableDef::new(ORDERS, "orders", vec!["order_id", "num_items"]));
+        s.add(TableDef::new(
+            ORDERS,
+            "orders",
+            vec!["order_id", "num_items"],
+        ));
         s
     }
 
@@ -199,8 +203,8 @@ impl BasketSampler {
                 self.sample_head(rng)
             } else {
                 let cat = cats[rng.gen_range(0..cats.len())];
-                (self.head_size + cat * self.category_size
-                    + rng.gen_range(0..self.category_size)) as u64
+                (self.head_size + cat * self.category_size + rng.gen_range(0..self.category_size))
+                    as u64
             };
             if !items.contains(&candidate) {
                 items.push(candidate);
@@ -224,10 +228,7 @@ pub fn order_proc(basket: usize) -> chiller_sproc::Procedure {
         });
     }
     b = b.insert(ORDERS, 0, &[], "insert order", move |st| {
-        vec![
-            Value::from(st.param_u64(0)),
-            Value::from(basket as u64),
-        ]
+        vec![Value::from(st.param_u64(0)), Value::from(basket as u64)]
     });
     b.build().expect("grocery order procedure is well-formed")
 }
@@ -238,7 +239,9 @@ pub struct InstacartProcs {
     pub order: Vec<usize>,
 }
 
-pub fn register_procs(mut register: impl FnMut(chiller_sproc::Procedure) -> usize) -> InstacartProcs {
+pub fn register_procs(
+    mut register: impl FnMut(chiller_sproc::Procedure) -> usize,
+) -> InstacartProcs {
     InstacartProcs {
         order: (1..=MAX_BASKET).map(|n| register(order_proc(n))).collect(),
     }
@@ -372,7 +375,10 @@ mod tests {
         let f0 = top as f64 / n as f64;
         let f1 = second as f64 / n as f64;
         assert!((f0 - 0.15).abs() < 0.03, "top product in {f0} of orders");
-        assert!((f1 - 0.08).abs() < 0.025, "second product in {f1} of orders");
+        assert!(
+            (f1 - 0.08).abs() < 0.025,
+            "second product in {f1} of orders"
+        );
     }
 
     #[test]
@@ -405,8 +411,7 @@ mod tests {
         let cfg = InstacartConfig::default();
         let t = trace(&cfg, 5_000, 1_000_000);
         assert_eq!(t.txns.len(), 5_000);
-        let mean: f64 =
-            t.txns.iter().map(|x| x.writes.len()).sum::<usize>() as f64 / 5_000.0;
+        let mean: f64 = t.txns.iter().map(|x| x.writes.len()).sum::<usize>() as f64 / 5_000.0;
         assert!((mean - MEAN_BASKET).abs() < 0.5);
         // Skew visible in the trace.
         let top_count = t

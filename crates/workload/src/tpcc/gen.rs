@@ -80,10 +80,10 @@ pub fn load_tpcc(cfg: &TpccConfig) -> Vec<(RecordId, Row)> {
                 vec![
                     Value::from(w),
                     Value::from(d),
-                    Value::F64(rng.gen_range(0.0..0.2)),  // d_tax
-                    Value::F64(30_000.0),                 // d_ytd
-                    Value::from(cfg.first_new_order()),   // d_next_o_id
-                    Value::from(cfg.last_delivered()),    // d_last_delivered
+                    Value::F64(rng.gen_range(0.0..0.2)), // d_tax
+                    Value::F64(30_000.0),                // d_ytd
+                    Value::from(cfg.first_new_order()),  // d_next_o_id
+                    Value::from(cfg.last_delivered()),   // d_last_delivered
                 ],
             ));
             for c in 1..=cfg.customers_per_district {

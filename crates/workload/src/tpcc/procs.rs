@@ -163,9 +163,7 @@ pub fn new_order_proc(lines: usize) -> Procedure {
                 tables::ORDER_LINE,
                 &[district_op],
                 "insert order_line",
-                move |st| {
-                    (st.param_u64(1) & WD_MASK) | (o_of(st) << 8) | (l as u64 + 1)
-                },
+                move |st| (st.param_u64(1) & WD_MASK) | (o_of(st) << 8) | (l as u64 + 1),
                 move |st| {
                     let stock_key = st.param_u64(key_param);
                     let qty = st.param_i64(key_param + 1);
@@ -267,9 +265,7 @@ pub fn delivery_proc() -> Procedure {
             tables::NEW_ORDER,
             chiller_sproc::KeyExpr::Computed {
                 deps: vec![district_op],
-                f: std::sync::Arc::new(move |st| {
-                    (st.param_u64(0) & WD_MASK) | (o_of(st) << 8)
-                }),
+                f: std::sync::Arc::new(move |st| (st.param_u64(0) & WD_MASK) | (o_of(st) << 8)),
             },
             chiller_sproc::OpKind::Delete,
             vec![],
@@ -320,8 +316,7 @@ pub fn stock_level_proc() -> Procedure {
                 &[district_op],
                 "read prev order line",
                 move |st| {
-                    let prev_o =
-                        st.output_req(district_op)[D_NEXT_O_ID].as_i64() as u64 - 1;
+                    let prev_o = st.output_req(district_op)[D_NEXT_O_ID].as_i64() as u64 - 1;
                     (st.param_u64(0) & WD_MASK) | (prev_o << 8) | (l as u64 + 1)
                 },
             )

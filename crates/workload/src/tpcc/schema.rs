@@ -82,11 +82,22 @@ pub mod keys {
 pub fn tpcc_schema() -> Schema {
     use tables::*;
     let mut s = Schema::new();
-    s.add(TableDef::new(WAREHOUSE, "warehouse", vec!["w_id", "w_tax", "w_ytd"]));
+    s.add(TableDef::new(
+        WAREHOUSE,
+        "warehouse",
+        vec!["w_id", "w_tax", "w_ytd"],
+    ));
     s.add(TableDef::new(
         DISTRICT,
         "district",
-        vec!["d_w_id", "d_id", "d_tax", "d_ytd", "d_next_o_id", "d_last_delivered"],
+        vec![
+            "d_w_id",
+            "d_id",
+            "d_tax",
+            "d_ytd",
+            "d_next_o_id",
+            "d_last_delivered",
+        ],
     ));
     s.add(TableDef::new(
         CUSTOMER,
@@ -101,7 +112,11 @@ pub fn tpcc_schema() -> Schema {
             "c_delivery_cnt",
         ],
     ));
-    s.add(TableDef::new(HISTORY, "history", vec!["h_c_key", "h_amount"]));
+    s.add(TableDef::new(
+        HISTORY,
+        "history",
+        vec!["h_c_key", "h_amount"],
+    ));
     s.add(TableDef::new(NEW_ORDER, "new_order", vec!["no_o_id"]));
     s.add(TableDef::new(
         ORDER,
@@ -116,7 +131,13 @@ pub fn tpcc_schema() -> Schema {
     s.add(TableDef::new(
         STOCK,
         "stock",
-        vec!["s_i_id", "s_quantity", "s_ytd", "s_order_cnt", "s_remote_cnt"],
+        vec![
+            "s_i_id",
+            "s_quantity",
+            "s_ytd",
+            "s_order_cnt",
+            "s_remote_cnt",
+        ],
     ));
     s
 }

@@ -239,8 +239,7 @@ pub fn build_tpcc_cluster(
     sim: SimConfig,
 ) -> Cluster {
     assert_eq!(
-        cfg.warehouses as usize as u64,
-        cfg.warehouses,
+        cfg.warehouses as usize as u64, cfg.warehouses,
         "warehouse count fits usize"
     );
     let nodes = cfg.warehouses as usize;
@@ -310,14 +309,13 @@ mod tests {
         let mut total = 0;
         for _ in 0..50_000 {
             let input = src.next_input(&mut rng);
-            if input.proc >= MAX_LINES - MIN_LINES + 1 {
+            if input.proc > MAX_LINES - MIN_LINES {
                 continue; // not NewOrder
             }
             total += 1;
             let lines = (input.params.len() - 4) / 3;
-            let any_remote = (0..lines).any(|l| {
-                keys::warehouse_of(input.params[4 + 3 * l].as_i64() as u64) != 2
-            });
+            let any_remote = (0..lines)
+                .any(|l| keys::warehouse_of(input.params[4 + 3 * l].as_i64() as u64) != 2);
             if any_remote {
                 remote += 1;
             }

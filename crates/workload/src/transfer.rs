@@ -50,7 +50,9 @@ impl TransferConfig {
     }
 
     pub fn hot_records(&self) -> Vec<RecordId> {
-        (0..self.hot_set).map(|k| RecordId::new(ACCOUNTS, k)).collect()
+        (0..self.hot_set)
+            .map(|k| RecordId::new(ACCOUNTS, k))
+            .collect()
     }
 
     /// Placement that co-locates the entire hot set on partition 0 (what

@@ -269,7 +269,6 @@ mod tests {
                 theta: 1.2,
                 read_fraction: 0.2,
                 ops_per_txn: 4,
-                ..Default::default()
             };
             let mut sim = SimConfig::default();
             sim.engine.concurrency = 6;

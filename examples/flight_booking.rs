@@ -6,7 +6,7 @@
 //! updated in inner regions.
 //!
 //! ```sh
-//! cargo run --release -p chiller-bench --example flight_booking
+//! cargo run --release --example flight_booking
 //! ```
 
 use chiller::cluster::RunSpec;
@@ -19,8 +19,14 @@ fn main() {
 
     println!("== Static analysis (§3.2) ==");
     println!("{proc:?}");
-    println!("pk-children of the flight read: {:?}", proc.graph.pk_children[0]);
-    println!("v-deps of the balance update:   {:?}\n", proc.graph.v_parents[4]);
+    println!(
+        "pk-children of the flight read: {:?}",
+        proc.graph.pk_children[0]
+    );
+    println!(
+        "v-deps of the balance update:   {:?}\n",
+        proc.graph.v_parents[4]
+    );
 
     // Run-time decision for one instance (§3.3): the flight (and the seat
     // insert that pk-depends on it) is hot and lives on partition 1; the

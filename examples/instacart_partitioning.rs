@@ -4,7 +4,7 @@
 //! hash partitioning, then execute all three (a miniature Figures 7+8).
 //!
 //! ```sh
-//! cargo run --release -p chiller-bench --example instacart_partitioning
+//! cargo run --release --example instacart_partitioning
 //! ```
 
 use chiller::cluster::RunSpec;
@@ -35,7 +35,10 @@ fn main() {
     );
     println!("hot records (lookup-table entries): {}", chiller.num_hot());
     for (r, pc) in chiller.hot_likelihoods.iter().take(5) {
-        println!("  {r}: contention likelihood {pc:.3} → {:?}", chiller.hot_assignments[r]);
+        println!(
+            "  {r}: contention likelihood {pc:.3} → {:?}",
+            chiller.hot_assignments[r]
+        );
     }
 
     // Schism baseline.
@@ -51,15 +54,37 @@ fn main() {
     let hash = HashPlacement::new(k as u32);
     println!("\n== Distributed-transaction ratio (Figure 8) ==");
     println!("hashing: {:.3}", distributed_ratio(&trace.txns, &hash));
-    println!("schism:  {:.3}", distributed_ratio(&trace.txns, &schism.into_placement()));
-    println!("chiller: {:.3}", distributed_ratio(&trace.txns, &chiller.into_lookup_table()));
+    println!(
+        "schism:  {:.3}",
+        distributed_ratio(&trace.txns, &schism.into_placement())
+    );
+    println!(
+        "chiller: {:.3}",
+        distributed_ratio(&trace.txns, &chiller.into_lookup_table())
+    );
 
     // Execute (Figure 7, one point).
     println!("\n== Execution at {k} partitions ==");
     let schism2 = SchismPartitioner::new(k as u32).partition(&trace);
-    let runs: Vec<(&str, Arc<dyn Placement + Send + Sync>, Vec<RecordId>, Protocol)> = vec![
-        ("hashing", Arc::new(HashPlacement::new(k as u32)), vec![], Protocol::TwoPhaseLocking),
-        ("schism", Arc::new(schism2.into_placement()), vec![], Protocol::TwoPhaseLocking),
+    type Run = (
+        &'static str,
+        Arc<dyn Placement + Send + Sync>,
+        Vec<RecordId>,
+        Protocol,
+    );
+    let runs: Vec<Run> = vec![
+        (
+            "hashing",
+            Arc::new(HashPlacement::new(k as u32)),
+            vec![],
+            Protocol::TwoPhaseLocking,
+        ),
+        (
+            "schism",
+            Arc::new(schism2.into_placement()),
+            vec![],
+            Protocol::TwoPhaseLocking,
+        ),
         (
             "chiller",
             Arc::new(partitioner.partition(&trace).into_lookup_table()),

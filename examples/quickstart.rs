@@ -2,7 +2,7 @@
 //! workload under Chiller's two-region execution, and print the metrics.
 //!
 //! ```sh
-//! cargo run --release -p chiller-bench --example quickstart
+//! cargo run --release --example quickstart
 //! ```
 
 use chiller::cluster::RunSpec;
@@ -31,7 +31,10 @@ fn main() {
         cluster.quiesce();
         let total = total_balance(&cluster);
         let expected = cfg.accounts as f64 * INITIAL_BALANCE;
-        assert!((total - expected).abs() < 1e-6, "balance leak under {protocol}!");
+        assert!(
+            (total - expected).abs() < 1e-6,
+            "balance leak under {protocol}!"
+        );
     }
     println!("\nAll protocols conserved the total balance — serializable execution.");
     println!("Note how Chiller's abort rate stays low: the hot accounts are");

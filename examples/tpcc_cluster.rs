@@ -2,7 +2,7 @@
 //! execution models at several concurrency levels (a miniature Figure 9).
 //!
 //! ```sh
-//! cargo run --release -p chiller-bench --example tpcc_cluster
+//! cargo run --release --example tpcc_cluster
 //! ```
 
 use chiller::cluster::RunSpec;

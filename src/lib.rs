@@ -1,0 +1,13 @@
+//! Workspace façade crate: re-exports the whole reproduction so the
+//! top-level examples and cross-crate tests have a single entry point.
+//!
+//! The real API lives in the member crates — start at [`chiller`] (cluster
+//! construction and runs) and [`chiller_workload`] (the paper's workloads).
+
+pub use chiller;
+pub use chiller_cc;
+pub use chiller_common;
+pub use chiller_partition;
+pub use chiller_sproc;
+pub use chiller_storage;
+pub use chiller_workload;

@@ -23,7 +23,11 @@ fn tpcc_audit(protocol: Protocol, seed: u64) {
     sim.seed = seed;
     let mut cluster = build_tpcc_cluster(&cfg, TpccMix::default(), protocol, sim);
     let report = cluster.run(RunSpec::millis(1, 10));
-    assert!(report.total_commits() > 500, "{protocol}: {}", report.summary());
+    assert!(
+        report.total_commits() > 500,
+        "{protocol}: {}",
+        report.summary()
+    );
     cluster.quiesce();
 
     let initial_w_ytd = 300_000.0;
@@ -61,7 +65,10 @@ fn tpcc_audit(protocol: Protocol, seed: u64) {
 
                 // Delivery pointer never passes the order counter.
                 let last_delivered = drow[5].as_i64() as u64;
-                assert!(last_delivered < next, "{protocol}: delivered unordered order");
+                assert!(
+                    last_delivered < next,
+                    "{protocol}: delivered unordered order"
+                );
             }
             let w_ytd = wrow[2].as_f64();
             assert!(
