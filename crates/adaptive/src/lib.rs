@@ -1,0 +1,35 @@
+//! # chiller-adaptive
+//!
+//! Online adaptation of the §4 contention-aware layout. The paper's
+//! pipeline is offline: a sampled trace feeds the partitioner once, and the
+//! hot-record lookup table is frozen for the run. This crate closes that
+//! loop at runtime as an epoch-driven feedback cycle:
+//!
+//! 1. a per-engine [`ContentionMonitor`](monitor::ContentionMonitor)
+//!    aggregates lock-conflict / abort / access counters and sampled
+//!    transaction read/write-sets into bounded epoch summaries (decayed
+//!    sketches, capped sample buffers);
+//! 2. a [`Directory`](directory::Directory) replaces the frozen
+//!    `LookupTable`: the same hot-entry-over-default-partitioner placement,
+//!    but mutable at deterministic points in virtual time;
+//! 3. an [`AdaptivePlanner`](planner::AdaptivePlanner) re-runs the existing
+//!    `ChillerPartitioner`/`ContentionModel` incrementally over a sliding
+//!    window of epoch summaries, aligns the resulting partition labels with
+//!    the current layout, and diffs the two into a bounded
+//!    [`MigrationPlan`](planner::MigrationPlan).
+//!
+//! The migration *protocol* (lock, copy, re-home, re-publish) lives in
+//! `chiller-cc`: migrations are ordinary NO_WAIT lock-based writes in
+//! virtual time, so the determinism, balance-conservation and
+//! replica-consistency invariants survive them unchanged. The epoch
+//! scheduler that drives the cycle lives in the `chiller` run harness.
+
+pub mod config;
+pub mod directory;
+pub mod monitor;
+pub mod planner;
+
+pub use config::AdaptiveConfig;
+pub use directory::Directory;
+pub use monitor::{ContentionMonitor, EpochSummary};
+pub use planner::{AdaptivePlanner, MigrationPlan, RecordMove};

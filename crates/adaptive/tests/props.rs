@@ -1,0 +1,113 @@
+//! Property tests for the migration-facing directory invariants:
+//!
+//! * **no record unreachable mid-plan** — under any interleaving of
+//!   relocations, promotions and demotions, every record resolves to the
+//!   partition that holds its (authoritative) copy;
+//! * **plan application idempotent** — re-applying any completed mutation
+//!   leaves the directory byte-identical.
+
+use chiller_adaptive::Directory;
+use chiller_common::ids::{PartitionId, RecordId, TableId};
+use chiller_storage::placement::{HashPlacement, Placement};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const K: u32 = 4;
+
+#[derive(Debug, Clone, Copy)]
+enum Mutation {
+    /// Completed migration of record `key` to partition `to` (hot flag
+    /// per `hot_after`) — the re-publish flip.
+    Relocate(u64, u32, bool),
+    /// Metadata-only hot flag at the record's current location.
+    Promote(u64),
+    /// Metadata-only cool-down.
+    Demote(u64),
+}
+
+fn mutation() -> impl Strategy<Value = Mutation> {
+    prop_oneof![
+        (0u64..24, 0u32..K, any::<bool>()).prop_map(|(k, p, h)| Mutation::Relocate(k, p, h)),
+        (0u64..24).prop_map(Mutation::Promote),
+        (0u64..24).prop_map(Mutation::Demote),
+    ]
+}
+
+fn rid(k: u64) -> RecordId {
+    RecordId::new(TableId(1), k)
+}
+
+proptest! {
+    /// Model the physical holder of every record alongside the directory:
+    /// after each mutation the directory must route each record to its
+    /// holder (reachability), and hot records must always carry an entry.
+    #[test]
+    fn directory_never_strands_a_record(ops in prop::collection::vec(mutation(), 1..120)) {
+        let fallback = HashPlacement::new(K);
+        let dir = Directory::new(Arc::new(HashPlacement::new(K)), [], []);
+        // Physical location model: where each record's copy lives. Records
+        // start at their default partition.
+        let mut holder: HashMap<RecordId, PartitionId> = HashMap::new();
+        for op in ops {
+            match op {
+                Mutation::Relocate(k, p, hot) => {
+                    // The protocol flips the directory only once the copy
+                    // exists at the destination.
+                    holder.insert(rid(k), PartitionId(p));
+                    dir.relocate(rid(k), PartitionId(p), hot);
+                }
+                Mutation::Promote(k) => {
+                    let at = dir.partition_of(rid(k));
+                    dir.promote(rid(k), at);
+                }
+                Mutation::Demote(k) => dir.demote(rid(k)),
+            }
+            for k in 0..24u64 {
+                let physical = holder
+                    .get(&rid(k))
+                    .copied()
+                    .unwrap_or_else(|| fallback.partition_of(rid(k)));
+                prop_assert_eq!(
+                    dir.partition_of(rid(k)),
+                    physical,
+                    "record {} routed away from its holder after {:?}",
+                    k,
+                    op
+                );
+            }
+            // Hot records always resolve through an explicit entry.
+            for r in dir.hot_snapshot() {
+                prop_assert!(
+                    dir.entries_snapshot().iter().any(|(er, _)| *er == r),
+                    "hot record without an entry"
+                );
+            }
+        }
+    }
+
+    /// Re-applying any mutation is a no-op on the directory state.
+    #[test]
+    fn directory_mutations_idempotent(ops in prop::collection::vec(mutation(), 1..80)) {
+        let dir = Directory::new(Arc::new(HashPlacement::new(K)), [], []);
+        for op in ops {
+            let apply = |d: &Directory| match op {
+                Mutation::Relocate(k, p, hot) => d.relocate(rid(k), PartitionId(p), hot),
+                Mutation::Promote(k) => {
+                    let at = d.partition_of(rid(k));
+                    d.promote(rid(k), at);
+                }
+                Mutation::Demote(k) => d.demote(rid(k)),
+            };
+            apply(&dir);
+            let snap = (dir.entries_snapshot(), dir.hot_snapshot());
+            apply(&dir);
+            prop_assert_eq!(
+                (dir.entries_snapshot(), dir.hot_snapshot()),
+                snap,
+                "{:?} must be idempotent",
+                op
+            );
+        }
+    }
+}

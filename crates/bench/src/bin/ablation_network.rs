@@ -10,66 +10,54 @@
 //! every inner-region delegation costs a full slow round trip.
 
 use chiller::cluster::RunSpec;
-use chiller::experiment::sweep;
 use chiller::prelude::*;
-use chiller_bench::{ktps, print_table, ratio};
+use chiller_bench::{emit, ktps, ratio, Matrix};
 use chiller_workload::tpcc::{build_tpcc_cluster, TpccConfig, TpccMix};
 
 fn main() {
     let cfg = TpccConfig::with_warehouses(8);
-    let points: Vec<(bool, Protocol)> = [true, false]
-        .into_iter()
-        .flat_map(|fast| {
-            [Protocol::TwoPhaseLocking, Protocol::Chiller]
-                .into_iter()
-                .map(move |p| (fast, p))
+    let m = Matrix::run(
+        vec![true, false],
+        vec![Protocol::TwoPhaseLocking, Protocol::Chiller],
+        move |&fast, &protocol| {
+            let mut sim = SimConfig {
+                network: if fast {
+                    NetworkConfig::default()
+                } else {
+                    NetworkConfig::slow_tcp()
+                },
+                ..SimConfig::default()
+            };
+            sim.engine.concurrency = 4;
+            sim.seed = 0xAB1;
+            let mut cluster = build_tpcc_cluster(&cfg, TpccMix::default(), protocol, sim);
+            let report = cluster.run(RunSpec::millis(2, 25));
+            (report.throughput(), report.abort_rate())
+        },
+    );
+
+    let rows: Vec<Vec<String>> = m
+        .xs()
+        .iter()
+        .map(|&fast| {
+            let two_pl = m.get(&fast, &Protocol::TwoPhaseLocking);
+            let chiller = m.get(&fast, &Protocol::Chiller);
+            vec![
+                if fast {
+                    "fast (RDMA-class)".to_string()
+                } else {
+                    "slow (TCP-class)".to_string()
+                },
+                ktps(two_pl.0),
+                ktps(chiller.0),
+                format!("{:.2}x", chiller.0 / two_pl.0),
+                ratio(two_pl.1),
+                ratio(chiller.1),
+            ]
         })
         .collect();
-    let cfg2 = cfg.clone();
-    let results = sweep(points.clone(), move |(fast, protocol)| {
-        let mut sim = SimConfig {
-            network: if fast {
-                NetworkConfig::default()
-            } else {
-                NetworkConfig::slow_tcp()
-            },
-            ..SimConfig::default()
-        };
-        sim.engine.concurrency = 4;
-        sim.seed = 0xAB1;
-        let mut cluster = build_tpcc_cluster(&cfg2, TpccMix::default(), protocol, sim);
-        let report = cluster.run(RunSpec::millis(2, 25));
-        (report.throughput(), report.abort_rate())
-    });
-    let get = |fast: bool, p: Protocol| {
-        &results[points.iter().position(|x| *x == (fast, p)).expect("point")]
-    };
-
-    let rows = vec![
-        vec![
-            "fast (RDMA-class)".to_string(),
-            ktps(get(true, Protocol::TwoPhaseLocking).0),
-            ktps(get(true, Protocol::Chiller).0),
-            format!(
-                "{:.2}x",
-                get(true, Protocol::Chiller).0 / get(true, Protocol::TwoPhaseLocking).0
-            ),
-            ratio(get(true, Protocol::TwoPhaseLocking).1),
-            ratio(get(true, Protocol::Chiller).1),
-        ],
-        vec![
-            "slow (TCP-class)".to_string(),
-            ktps(get(false, Protocol::TwoPhaseLocking).0),
-            ktps(get(false, Protocol::Chiller).0),
-            format!(
-                "{:.2}x",
-                get(false, Protocol::Chiller).0 / get(false, Protocol::TwoPhaseLocking).0
-            ),
-            ratio(get(false, Protocol::TwoPhaseLocking).1),
-            ratio(get(false, Protocol::Chiller).1),
-        ],
-    ];
-    print_table(
+    emit(
+        "ablation_network",
         "Ablation: network class (TPC-C, 4 concurrent/warehouse)",
         &[
             "network",
@@ -80,7 +68,11 @@ fn main() {
             "chiller_abort",
         ],
         &rows,
+        &[(
+            "note",
+            "on the slow network, message delay dominates both protocols and the \
+             contention-span advantage shrinks in relative terms — the §2 premise"
+                .to_string(),
+        )],
     );
-    println!("\nOn the slow network, message delay dominates both protocols and the");
-    println!("contention-span advantage shrinks in relative terms — the §2 premise.");
 }

@@ -14,7 +14,7 @@
 
 use chiller::cluster::RunSpec;
 use chiller::prelude::*;
-use chiller_bench::{ktps, print_table, ratio};
+use chiller_bench::{emit, ktps, ratio};
 use chiller_workload::transfer::{transfer_proc, TransferConfig, TransferSource};
 use std::sync::Arc;
 
@@ -78,13 +78,17 @@ fn main() {
             format!("{:.2}x", full.0 / baseline.0),
         ],
     ];
-    print_table(
+    emit(
+        "ablation_reorder",
         "Ablation: re-ordering alone vs the full co-design (transfer workload)",
         &["configuration", "ktps", "abort", "vs baseline"],
         &rows,
+        &[(
+            "note",
+            "re-ordering alone helps only when a transaction's hot records happen \
+             to share a partition; execution and partitioning must be co-designed — \
+             the full configuration should clearly dominate both others"
+                .to_string(),
+        )],
     );
-    println!("\nRe-ordering alone helps only when a transaction's hot records happen");
-    println!("to share a partition; the paper's claim is that execution and");
-    println!("partitioning must be co-designed — the full configuration should");
-    println!("clearly dominate both others.");
 }

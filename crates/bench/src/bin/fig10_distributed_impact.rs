@@ -9,64 +9,59 @@
 //! degrades the least (<20% from 0% to 100% distributed).
 
 use chiller::cluster::RunSpec;
-use chiller::experiment::sweep;
 use chiller::prelude::*;
-use chiller_bench::{ktps, print_table};
+use chiller_bench::{emit, ktps, Matrix};
 use chiller_workload::tpcc::{build_tpcc_cluster, TpccConfig, TpccMix};
 
 const WAREHOUSES: u64 = 8;
 
+type Series = (&'static str, Protocol, usize);
+
 fn main() {
     let cfg = TpccConfig::with_warehouses(WAREHOUSES);
-    let series: Vec<(&str, Protocol, usize)> = vec![
+    let series: Vec<Series> = vec![
         ("2pl(1)", Protocol::TwoPhaseLocking, 1),
         ("occ(1)", Protocol::Occ, 1),
         ("2pl(5)", Protocol::TwoPhaseLocking, 5),
         ("occ(5)", Protocol::Occ, 5),
         ("chiller(5)", Protocol::Chiller, 5),
     ];
-    let fractions: Vec<u32> = vec![0, 20, 40, 60, 80, 100];
-    let points: Vec<(usize, u32)> = (0..series.len())
-        .flat_map(|s| fractions.iter().map(move |&f| (s, f)))
-        .collect();
-    let series2 = series.clone();
-    let cfg2 = cfg.clone();
-    let results = sweep(points.clone(), move |(s, frac)| {
-        let (_, protocol, conc) = series2[s];
-        let mut sim = SimConfig::default();
-        sim.engine.concurrency = conc;
-        sim.seed = 0xF10;
-        let mix = TpccMix::payment_neworder(frac as f64 / 100.0);
-        let mut cluster = build_tpcc_cluster(&cfg2, mix, protocol, sim);
-        let report = cluster.run(RunSpec::millis(2, 25));
-        report.throughput()
-    });
-    let get = |s: usize, f: u32| results[points.iter().position(|x| *x == (s, f)).expect("point")];
+    let m = Matrix::run(
+        vec![0u32, 20, 40, 60, 80, 100],
+        series.clone(),
+        move |&frac, &(_, protocol, conc)| {
+            let mut sim = SimConfig::default();
+            sim.engine.concurrency = conc;
+            sim.seed = 0xF10;
+            let mix = TpccMix::payment_neworder(frac as f64 / 100.0);
+            let mut cluster = build_tpcc_cluster(&cfg, mix, protocol, sim);
+            let report = cluster.run(RunSpec::millis(2, 25));
+            report.throughput()
+        },
+    );
 
-    let mut header = vec!["pct_distributed".to_string()];
-    header.extend(series.iter().map(|(n, _, _)| n.to_string()));
-    let rows: Vec<Vec<String>> = fractions
-        .iter()
-        .map(|&f| {
-            let mut row = vec![f.to_string()];
-            row.extend((0..series.len()).map(|s| ktps(get(s, f))));
-            row
-        })
-        .collect();
-    print_table(
+    let mut header = vec!["pct_distributed"];
+    header.extend(series.iter().map(|(n, _, _)| *n));
+    let rows = m.rows(|f| f.to_string(), &[&|r: &f64| ktps(*r)]);
+
+    let mut derived = Vec::new();
+    for s @ (name, _, _) in &series {
+        let deg = 1.0 - m.get(&100, s) / m.get(&0, s);
+        let note = if *name == "chiller(5)" {
+            " (paper: <20%)"
+        } else {
+            ""
+        };
+        derived.push((
+            *name,
+            format!("degradation 0%→100% distributed: {:.1}%{note}", deg * 100.0),
+        ));
+    }
+    emit(
+        "fig10",
         "Figure 10: throughput vs % distributed transactions (K txns/s)",
         &header,
         &rows,
+        &derived,
     );
-
-    let chiller = series.len() - 1;
-    let degradation = 1.0 - get(chiller, 100) / get(chiller, 0);
-    println!(
-        "\nchiller degradation 0%→100% distributed: {:.1}% (paper: <20%)",
-        degradation * 100.0
-    );
-    for (s, (name, _, _)) in series.iter().enumerate().take(chiller) {
-        let deg = 1.0 - get(s, 100) / get(s, 0);
-        println!("{name} degradation: {:.1}%", deg * 100.0);
-    }
 }

@@ -12,9 +12,8 @@
 //! hot lookup table — the co-design the paper evaluates.
 
 use chiller::cluster::RunSpec;
-use chiller::experiment::sweep;
 use chiller::prelude::*;
-use chiller_bench::{ktps, print_table, ratio};
+use chiller_bench::{emit, ktps, ratio, Matrix};
 use chiller_partition::{ChillerPartitioner, ContentionModel, SchismPartitioner};
 use chiller_workload::instacart::{self, InstacartConfig};
 use std::sync::Arc;
@@ -69,35 +68,42 @@ fn run_point(cfg: &InstacartConfig, k: usize, scheme: Scheme) -> (f64, f64) {
 
 fn main() {
     let cfg = InstacartConfig::default();
-    let points: Vec<(usize, Scheme)> = (2..=8)
-        .flat_map(|k| {
-            [Scheme::Hash, Scheme::Schism, Scheme::Chiller]
-                .into_iter()
-                .map(move |s| (k, s))
-        })
-        .collect();
-    let cfg2 = cfg.clone();
-    let results = sweep(points.clone(), move |(k, scheme)| {
-        run_point(&cfg2, k, scheme)
-    });
+    let m = Matrix::run(
+        (2..=8usize).collect(),
+        vec![Scheme::Hash, Scheme::Schism, Scheme::Chiller],
+        move |&k, &scheme| run_point(&cfg, k, scheme),
+    );
 
-    let mut rows = Vec::new();
-    for k in 2..=8usize {
-        let mut row = vec![k.to_string()];
-        for scheme in [Scheme::Hash, Scheme::Schism, Scheme::Chiller] {
-            let idx = points
-                .iter()
-                .position(|p| *p == (k, scheme))
-                .expect("point exists");
-            row.push(ktps(results[idx].0));
-        }
-        for scheme in [Scheme::Hash, Scheme::Schism, Scheme::Chiller] {
-            let idx = points.iter().position(|p| *p == (k, scheme)).unwrap();
-            row.push(ratio(results[idx].1));
-        }
-        rows.push(row);
-    }
-    print_table(
+    let rows = m.rows(
+        |k| k.to_string(),
+        &[&|r: &(f64, f64)| ktps(r.0), &|r: &(f64, f64)| ratio(r.1)],
+    );
+    let at = |k: usize, s: Scheme| m.get(&k, &s).0;
+    let derived = vec![
+        (
+            "chiller_8p_over_2p",
+            format!(
+                "{:.2}x (paper: near-linear ≈4x)",
+                at(8, Scheme::Chiller) / at(2, Scheme::Chiller)
+            ),
+        ),
+        (
+            "schism_8p_over_2p",
+            format!(
+                "{:.2}x (paper: ≈flat)",
+                at(8, Scheme::Schism) / at(2, Scheme::Schism)
+            ),
+        ),
+        (
+            "chiller_over_schism_at_8p",
+            format!(
+                "{:.2}x (paper: ≈2x)",
+                at(8, Scheme::Chiller) / at(8, Scheme::Schism)
+            ),
+        ),
+    ];
+    emit(
+        "fig7",
         "Figure 7: Instacart throughput by partitioning scheme (K txns/s)",
         &[
             "partitions",
@@ -109,16 +115,6 @@ fn main() {
             "chiller_abort",
         ],
         &rows,
-    );
-
-    // Shape checks the paper reports.
-    let at = |k: usize, s: Scheme| results[points.iter().position(|p| *p == (k, s)).unwrap()].0;
-    let chiller_scaling = at(8, Scheme::Chiller) / at(2, Scheme::Chiller);
-    let schism_scaling = at(8, Scheme::Schism) / at(2, Scheme::Schism);
-    println!("\nchiller 8p/2p scaling: {chiller_scaling:.2}x (paper: near-linear ≈4x)");
-    println!("schism  8p/2p scaling: {schism_scaling:.2}x (paper: ≈flat)");
-    println!(
-        "chiller vs schism at 8 partitions: {:.2}x (paper: ≈2x)",
-        at(8, Scheme::Chiller) / at(8, Scheme::Schism)
+        &derived,
     );
 }

@@ -8,7 +8,7 @@
 //! claim that minimizing distributed transactions is the wrong objective on
 //! fast networks.
 
-use chiller_bench::{print_table, ratio};
+use chiller_bench::{emit, ratio};
 use chiller_partition::chiller_part::distributed_ratio;
 use chiller_partition::{ChillerPartitioner, ContentionModel, SchismPartitioner};
 use chiller_storage::placement::HashPlacement;
@@ -40,13 +40,14 @@ fn main() {
             ratio(r_chiller),
         ]);
     }
-    print_table(
+    emit(
+        "fig8",
         "Figure 8: ratio of distributed transactions by partitioning scheme",
         &["partitions", "hashing", "schism", "chiller"],
         &rows,
-    );
-    println!(
-        "\nchiller/schism distributed ratio at 2 partitions: {chiller_minus_schism_at_2:.2}x \
-         (paper: ≈1.6x, narrowing as partitions grow)"
+        &[(
+            "chiller_over_schism_distributed_at_2p",
+            format!("{chiller_minus_schism_at_2:.2}x (paper: ≈1.6x, narrowing as partitions grow)"),
+        )],
     );
 }

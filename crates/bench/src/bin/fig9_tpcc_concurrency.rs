@@ -14,93 +14,88 @@
 //! lock starvation).
 
 use chiller::cluster::RunSpec;
-use chiller::experiment::sweep;
 use chiller::prelude::*;
-use chiller_bench::{ktps, print_table, ratio};
+use chiller_bench::{emit, ktps, ratio, Matrix};
 use chiller_workload::tpcc::{build_tpcc_cluster, TpccConfig, TpccMix};
 
 const WAREHOUSES: u64 = 8;
 const PROTOCOLS: [Protocol; 3] = [Protocol::TwoPhaseLocking, Protocol::Occ, Protocol::Chiller];
 
+type Point = (f64, f64, f64, f64, f64);
+
 fn main() {
     let cfg = TpccConfig::with_warehouses(WAREHOUSES);
-    let points: Vec<(usize, Protocol)> = (1..=8usize)
-        .flat_map(|c| PROTOCOLS.into_iter().map(move |p| (c, p)))
-        .collect();
-    let cfg2 = cfg.clone();
-    let results = sweep(points.clone(), move |(conc, protocol)| {
-        let mut sim = SimConfig::default();
-        sim.engine.concurrency = conc;
-        sim.seed = 0xF19;
-        let mut cluster = build_tpcc_cluster(&cfg2, TpccMix::default(), protocol, sim);
-        let report = cluster.run(RunSpec::millis(2, 25));
-        (
-            report.throughput(),
-            report.abort_rate(),
-            report.abort_rate_of("NewOrder"),
-            report.abort_rate_of("Payment"),
-            report.abort_rate_of("StockLevel"),
-        )
-    });
-    let get =
-        |c: usize, p: Protocol| &results[points.iter().position(|x| *x == (c, p)).expect("point")];
+    let m = Matrix::run(
+        (1..=8usize).collect(),
+        PROTOCOLS.to_vec(),
+        move |&conc, &protocol| -> Point {
+            let mut sim = SimConfig::default();
+            sim.engine.concurrency = conc;
+            sim.seed = 0xF19;
+            let mut cluster = build_tpcc_cluster(&cfg, TpccMix::default(), protocol, sim);
+            let report = cluster.run(RunSpec::millis(2, 25));
+            (
+                report.throughput(),
+                report.abort_rate(),
+                report.abort_rate_of("NewOrder"),
+                report.abort_rate_of("Payment"),
+                report.abort_rate_of("StockLevel"),
+            )
+        },
+    );
+    let get = |c: usize, p: Protocol| m.get(&c, &p);
 
-    // 9a: throughput.
-    let rows: Vec<Vec<String>> = (1..=8usize)
-        .map(|c| {
-            vec![
-                c.to_string(),
-                ktps(get(c, Protocol::TwoPhaseLocking).0),
-                ktps(get(c, Protocol::Occ).0),
-                ktps(get(c, Protocol::Chiller).0),
-            ]
-        })
-        .collect();
-    print_table(
+    emit(
+        "fig9a",
         "Figure 9a: TPC-C throughput vs concurrent txns/warehouse (K txns/s)",
         &["concurrent", "2pl_ktps", "occ_ktps", "chiller_ktps"],
-        &rows,
+        &m.rows(|c| c.to_string(), &[&|r: &Point| ktps(r.0)]),
+        &[
+            (
+                "chiller_4conc_over_1conc",
+                format!(
+                    "{:.2}x (paper: rises then saturates ≈4)",
+                    get(4, Protocol::Chiller).0 / get(1, Protocol::Chiller).0
+                ),
+            ),
+            (
+                "2pl_4conc_over_1conc",
+                format!(
+                    "{:.2}x (paper: ≈flat/declining)",
+                    get(4, Protocol::TwoPhaseLocking).0 / get(1, Protocol::TwoPhaseLocking).0
+                ),
+            ),
+        ],
     );
 
-    // 9b: abort rates.
-    let rows: Vec<Vec<String>> = (1..=8usize)
-        .map(|c| {
-            vec![
-                c.to_string(),
-                ratio(get(c, Protocol::TwoPhaseLocking).1),
-                ratio(get(c, Protocol::Occ).1),
-                ratio(get(c, Protocol::Chiller).1),
-            ]
-        })
-        .collect();
-    print_table(
+    emit(
+        "fig9b",
         "Figure 9b: TPC-C total abort rate",
         &["concurrent", "2pl", "occ", "chiller"],
-        &rows,
+        &m.rows(|c| c.to_string(), &[&|r: &Point| ratio(r.1)]),
+        &[],
     );
 
-    // 9c: abort-rate breakdown for 2PL.
-    let rows: Vec<Vec<String>> = (1..=8usize)
+    // 9c: abort-rate breakdown for 2PL only — one series, per-type columns.
+    let rows: Vec<Vec<String>> = m
+        .xs()
+        .iter()
         .map(|c| {
-            let r = get(c, Protocol::TwoPhaseLocking);
+            let r = get(*c, Protocol::TwoPhaseLocking);
             vec![c.to_string(), ratio(r.2), ratio(r.3), ratio(r.4)]
         })
         .collect();
-    print_table(
+    emit(
+        "fig9c",
         "Figure 9c: 2PL abort rate by transaction type",
         &["concurrent", "new_order", "payment", "stock_level"],
         &rows,
-    );
-
-    // Shape commentary.
-    let chiller_gain = get(4, Protocol::Chiller).0 / get(1, Protocol::Chiller).0;
-    let two_pl_gain = get(4, Protocol::TwoPhaseLocking).0 / get(1, Protocol::TwoPhaseLocking).0;
-    println!(
-        "\nchiller 4-conc/1-conc throughput: {chiller_gain:.2}x (paper: rises then saturates ≈4)"
-    );
-    println!("2pl     4-conc/1-conc throughput: {two_pl_gain:.2}x (paper: ≈flat/declining)");
-    println!(
-        "2pl Payment abort rate at 4 concurrent: {:.2} (paper: ≈1.0 — warehouse-lock starvation)",
-        get(4, Protocol::TwoPhaseLocking).3
+        &[(
+            "2pl_payment_abort_at_4conc",
+            format!(
+                "{:.2} (paper: ≈1.0 — warehouse-lock starvation)",
+                get(4, Protocol::TwoPhaseLocking).3
+            ),
+        )],
     );
 }

@@ -3,7 +3,7 @@
 //! Chiller stores entries only for records above the contention-likelihood
 //! threshold. The paper reports Schism's table ≈10× larger.
 
-use chiller_bench::print_table;
+use chiller_bench::emit;
 use chiller_partition::{ChillerPartitioner, ContentionModel, SchismPartitioner};
 use chiller_workload::instacart::{self, InstacartConfig};
 
@@ -28,7 +28,8 @@ fn main() {
             ),
         ]);
     }
-    print_table(
+    emit(
+        "table_lookup_size",
         "Lookup-table size (entries): Schism vs Chiller (paper: ≈10x)",
         &[
             "partitions",
@@ -37,5 +38,6 @@ fn main() {
             "schism/chiller",
         ],
         &rows,
+        &[],
     );
 }

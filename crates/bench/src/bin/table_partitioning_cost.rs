@@ -6,7 +6,7 @@
 //! (This one measures real host time, not virtual time — it benchmarks the
 //! partitioners themselves.)
 
-use chiller_bench::print_table;
+use chiller_bench::emit;
 use chiller_partition::{ChillerPartitioner, ContentionModel, SchismPartitioner};
 use chiller_workload::instacart::{self, InstacartConfig};
 use std::time::Instant;
@@ -35,7 +35,8 @@ fn main() {
             format!("{:.1}", schism_ms / chiller_ms),
         ]);
     }
-    print_table(
+    emit(
+        "table_partitioning_cost",
         "Partitioning cost: graph build + partition (paper: Schism up to ≈5x slower)",
         &[
             "trace_txns",
@@ -46,5 +47,6 @@ fn main() {
             "schism/chiller",
         ],
         &rows,
+        &[],
     );
 }

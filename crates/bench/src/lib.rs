@@ -1,7 +1,13 @@
 //! Shared helpers for the experiment binaries that regenerate the paper's
-//! tables and figures (see DESIGN.md §4 for the experiment index and
-//! EXPERIMENTS.md for recorded outcomes).
+//! tables and figures (see DESIGN.md §4 for the experiment index).
+//!
+//! Every binary reports through [`emit`]: an aligned table, a CSV block,
+//! and — when `CHILLER_BENCH_JSON` is set — a machine-readable
+//! `BENCH_<name>.json` file, the format the perf-trajectory tracking
+//! expects. The cross-product sweep + row-assembly glue the binaries used
+//! to hand-roll lives in [`Matrix`].
 
+use chiller::experiment::sweep;
 use std::fmt::Display;
 
 /// Print an aligned table: header row + data rows, also emitting a CSV
@@ -50,6 +56,184 @@ pub fn ratio(r: f64) -> String {
     format!("{r:.3}")
 }
 
+// ---------------------------------------------------------------------------
+// Machine-readable output
+// ---------------------------------------------------------------------------
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render one experiment's results as a JSON document: name, title,
+/// header, rows (all cells as strings — they are already formatted), and a
+/// flat map of derived headline numbers.
+pub fn emit_json(
+    name: &str,
+    title: &str,
+    header: &[&str],
+    rows: &[Vec<String>],
+    derived: &[(&str, String)],
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"name\": \"{}\",\n", json_escape(name)));
+    s.push_str(&format!("  \"title\": \"{}\",\n", json_escape(title)));
+    let hdr: Vec<String> = header
+        .iter()
+        .map(|h| format!("\"{}\"", json_escape(h)))
+        .collect();
+    s.push_str(&format!("  \"header\": [{}],\n", hdr.join(", ")));
+    s.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let cells: Vec<String> = row
+            .iter()
+            .map(|c| format!("\"{}\"", json_escape(c)))
+            .collect();
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        s.push_str(&format!("    [{}]{}\n", cells.join(", "), comma));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"derived\": {\n");
+    for (i, (k, v)) in derived.iter().enumerate() {
+        let comma = if i + 1 < derived.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    \"{}\": \"{}\"{}\n",
+            json_escape(k),
+            json_escape(v),
+            comma
+        ));
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// Report one experiment: aligned table + CSV on stdout, and — when the
+/// `CHILLER_BENCH_JSON` environment variable is set — `BENCH_<name>.json`
+/// written to that directory (`.` for values like `1`/`true`).
+pub fn emit(
+    name: &str,
+    title: &str,
+    header: &[&str],
+    rows: &[Vec<String>],
+    derived: &[(&str, String)],
+) {
+    print_table(title, header, rows);
+    for (k, v) in derived {
+        println!("{k}: {v}");
+    }
+    if let Ok(dest) = std::env::var("CHILLER_BENCH_JSON") {
+        if dest.is_empty() {
+            return;
+        }
+        let dir = if dest == "1" || dest == "true" {
+            ".".to_string()
+        } else {
+            dest
+        };
+        let path = format!("{dir}/BENCH_{name}.json");
+        let json = emit_json(name, title, header, rows, derived);
+        match std::fs::write(&path, json) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-product sweeps
+// ---------------------------------------------------------------------------
+
+/// Results of a parallel sweep over the cross product `xs × series` — the
+/// shape of nearly every figure: one table row per x value, one column
+/// group per series. Replaces the per-binary `points`/`position` glue.
+pub struct Matrix<X, S, R> {
+    xs: Vec<X>,
+    series: Vec<S>,
+    /// Row-major: `results[x_index * series.len() + s_index]`.
+    results: Vec<R>,
+}
+
+impl<X, S, R> Matrix<X, S, R>
+where
+    X: Clone + PartialEq + Send + Sync + 'static,
+    S: Clone + PartialEq + Send + Sync + 'static,
+    R: Send + 'static,
+{
+    /// Run `f` on every `(x, series)` point in parallel (each point builds
+    /// its own deterministic cluster; see `chiller::experiment::sweep`).
+    pub fn run(
+        xs: Vec<X>,
+        series: Vec<S>,
+        f: impl Fn(&X, &S) -> R + Send + Sync + 'static,
+    ) -> Self {
+        let points: Vec<(X, S)> = xs
+            .iter()
+            .flat_map(|x| series.iter().map(move |s| (x.clone(), s.clone())))
+            .collect();
+        let results = sweep(points, move |(x, s)| f(&x, &s));
+        Matrix {
+            xs,
+            series,
+            results,
+        }
+    }
+
+    pub fn xs(&self) -> &[X] {
+        &self.xs
+    }
+
+    pub fn series(&self) -> &[S] {
+        &self.series
+    }
+
+    /// The result at `(x, s)`; panics when the point was not swept.
+    pub fn get(&self, x: &X, s: &S) -> &R {
+        let xi = self.xs.iter().position(|v| v == x).expect("unknown x");
+        let si = self
+            .series
+            .iter()
+            .position(|v| v == s)
+            .expect("unknown series");
+        &self.results[xi * self.series.len() + si]
+    }
+
+    /// Assemble table rows: one row per x, starting with `label(x)`, then
+    /// for each metric in `metrics` that metric of every series in order —
+    /// the column layout of the figure tables (all series' throughput,
+    /// then all series' abort rate, …).
+    pub fn rows(
+        &self,
+        label: impl Fn(&X) -> String,
+        metrics: &[&dyn Fn(&R) -> String],
+    ) -> Vec<Vec<String>> {
+        self.xs
+            .iter()
+            .enumerate()
+            .map(|(xi, x)| {
+                let mut row = vec![label(x)];
+                for metric in metrics {
+                    for si in 0..self.series.len() {
+                        row.push(metric(&self.results[xi * self.series.len() + si]));
+                    }
+                }
+                row
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -67,5 +251,35 @@ mod tests {
             &["a", "b"],
             &[vec!["1".to_string(), "2".to_string()]],
         );
+    }
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let json = emit_json(
+            "demo",
+            "a \"quoted\" title",
+            &["x", "y"],
+            &[vec!["1".to_string(), "2".to_string()]],
+            &[("speedup", "1.5x".to_string())],
+        );
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"header\": [\"x\", \"y\"]"));
+        assert!(json.contains("[\"1\", \"2\"]"));
+        assert!(json.contains("\"speedup\": \"1.5x\""));
+        // Well-bracketed (cheap structural sanity without a JSON parser).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn matrix_indexes_cross_product() {
+        let m = Matrix::run(vec![1u32, 2, 3], vec!["a", "b"], |x, s| (*x, s.to_string()));
+        assert_eq!(m.get(&2, &"b"), &(2, "b".to_string()));
+        assert_eq!(m.get(&3, &"a"), &(3, "a".to_string()));
+        let rows = m.rows(
+            |x| x.to_string(),
+            &[&|r: &(u32, String)| format!("{}{}", r.0, r.1)],
+        );
+        assert_eq!(rows[1], vec!["2", "2a", "2b"]);
     }
 }

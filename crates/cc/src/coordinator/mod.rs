@@ -414,6 +414,34 @@ pub(crate) fn finish_commit(eng: &mut EngineActor, ctx: &mut Ctx<'_, Msg>, coord
     if distributed {
         stats.distributed_commits += 1;
     }
+    if let Some(mon) = eng.monitor.as_mut() {
+        // Feed the adaptive sampling service: this commit's read/write-set
+        // (built lazily — only sampled commits allocate). Inner-region ops
+        // never get `OpState::record` set (the inner host resolves them),
+        // so re-resolve by key here — with all outputs in, every key
+        // resolves — or the hottest records would vanish from the samples
+        // the moment they are promoted, and the planner would oscillate.
+        mon.on_commit_with(|| {
+            let mut reads = Vec::new();
+            let mut writes = Vec::new();
+            for (i, st) in coord.ops.iter().enumerate() {
+                let op = coord.proc.op(OpId(i as u16));
+                let rid = st.record.or_else(|| {
+                    op.key
+                        .resolve(&coord.exec)
+                        .map(|k| RecordId::new(op.table, k))
+                });
+                if let Some(rid) = rid {
+                    if op.kind.is_write() {
+                        writes.push(rid);
+                    } else {
+                        reads.push(rid);
+                    }
+                }
+            }
+            (reads, writes)
+        });
+    }
     let latency = ctx.now().saturating_since(coord.first_start);
     eng.metrics.latency.record_duration(latency);
     coord.phase = Phase::Done;
@@ -446,6 +474,9 @@ pub(crate) fn abort_attempt(
     match kind {
         FailKind::Transient => {
             eng.metrics.type_stats(&name).aborts += 1;
+            if let Some(mon) = eng.monitor.as_mut() {
+                mon.on_abort();
+            }
             if coord.attempts >= eng.config.engine.max_retries {
                 eng.schedule_fresh_start(ctx, slot);
             } else {

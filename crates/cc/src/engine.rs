@@ -26,8 +26,11 @@
 
 use crate::coordinator::{self, strategy_for, Coord, CoordinatorProtocol, Phase};
 use crate::input::{InputSource, ProcRegistry, TxnInput};
+use crate::migration::{Migration, MigrationJob};
 use crate::msg::Msg;
 use crate::protocol::Protocol;
+use chiller_adaptive::monitor::{ContentionMonitor, EpochSummary};
+use chiller_adaptive::Directory;
 use chiller_common::config::SimConfig;
 use chiller_common::ids::{NodeId, PartitionId, RecordId, TxnId};
 use chiller_common::metrics::MetricSet;
@@ -43,7 +46,36 @@ use std::sync::Arc;
 
 const TOKEN_START: u64 = 1 << 32;
 const TOKEN_RETRY: u64 = 2 << 32;
-const TOKEN_MASK: u64 = (1 << 32) - 1;
+pub(crate) const TOKEN_MIG: u64 = 4 << 32;
+pub(crate) const TOKEN_MASK: u64 = (1 << 32) - 1;
+
+/// Hot-record membership driving the §3.3 region decision and the hot/cold
+/// contention histograms: either the frozen seed hot set (the paper's
+/// offline pipeline) or the adaptive directory, whose hot flags move at
+/// epoch boundaries.
+#[derive(Clone)]
+pub enum HotSet {
+    Static(Arc<HashSet<RecordId>>),
+    Adaptive(Arc<Directory>),
+}
+
+impl HotSet {
+    #[inline]
+    pub fn contains(&self, rid: &RecordId) -> bool {
+        match self {
+            HotSet::Static(s) => s.contains(rid),
+            HotSet::Adaptive(d) => d.is_hot(*rid),
+        }
+    }
+
+    /// The adaptive directory, when this engine runs with adaptation on.
+    pub fn directory(&self) -> Option<&Arc<Directory>> {
+        match self {
+            HotSet::Static(_) => None,
+            HotSet::Adaptive(d) => Some(d),
+        }
+    }
+}
 
 /// Everything needed to construct an engine node.
 pub struct EngineParams {
@@ -53,10 +85,12 @@ pub struct EngineParams {
     pub config: SimConfig,
     pub registry: Arc<ProcRegistry>,
     pub placement: Arc<dyn Placement + Send + Sync>,
-    pub hot: Arc<HashSet<RecordId>>,
+    pub hot: HotSet,
     pub store: PartitionStore,
     pub replicas: HashMap<PartitionId, PartitionStore>,
     pub source: Box<dyn InputSource>,
+    /// Present when the cluster runs with online adaptation.
+    pub monitor: Option<ContentionMonitor>,
 }
 
 /// Summary handed to the experiment harness after a run.
@@ -76,19 +110,31 @@ pub struct EngineActor {
     pub(crate) config: SimConfig,
     pub(crate) registry: Arc<ProcRegistry>,
     pub(crate) placement: Arc<dyn Placement + Send + Sync>,
-    pub(crate) hot: Arc<HashSet<RecordId>>,
+    pub(crate) hot: HotSet,
     pub(crate) store: PartitionStore,
     pub(crate) replicas: HashMap<PartitionId, PartitionStore>,
     source: Box<dyn InputSource>,
     pub(crate) rng: StdRng,
-    txn_seq: u64,
+    pub(crate) txn_seq: u64,
     pub(crate) txns: HashMap<TxnId, Coord>,
     /// Inputs waiting for their retry backoff, per slot.
     retries: HashMap<usize, (TxnInput, u32, SimTime)>,
     /// When false, slots finishing their transaction do not pull new input
     /// (used to drain the cluster for invariant checks).
-    accepting: bool,
+    pub(crate) accepting: bool,
     pub(crate) metrics: MetricSet,
+    /// Contention monitor (present iff the cluster adapts online).
+    pub(crate) monitor: Option<ContentionMonitor>,
+    /// In-flight migrations this engine coordinates (destination side).
+    pub(crate) migrations: HashMap<TxnId, Migration>,
+    /// Migration jobs waiting out a NO_WAIT retry backoff.
+    pub(crate) mig_retries: HashMap<u64, MigrationJob>,
+    pub(crate) mig_seq: u64,
+    /// Records this partition used to own that migrated elsewhere: a miss
+    /// on one of these is a stale-routing race, answered as a retryable
+    /// conflict so the coordinator re-resolves the placement. Bounded by
+    /// the number of migrations out of this partition over the run.
+    pub(crate) migrated_out: HashSet<RecordId>,
 }
 
 impl EngineActor {
@@ -111,6 +157,11 @@ impl EngineActor {
             retries: HashMap::new(),
             accepting: true,
             metrics: MetricSet::new(),
+            monitor: params.monitor,
+            migrations: HashMap::new(),
+            mig_retries: HashMap::new(),
+            mig_seq: 0,
+            migrated_out: HashSet::new(),
         }
     }
 
@@ -147,6 +198,32 @@ impl EngineActor {
     /// Number of transactions currently open on this engine (diagnostics).
     pub fn open_txns(&self) -> usize {
         self.txns.len()
+    }
+
+    /// Drain this engine's contention monitor at an epoch boundary.
+    /// Returns `None` when the cluster runs without adaptation.
+    pub fn take_epoch_summary(&mut self) -> Option<EpochSummary> {
+        let node = self.node;
+        self.monitor.as_mut().map(|m| m.end_epoch(node))
+    }
+
+    /// Records with a migration currently in flight or queued for retry at
+    /// this engine (the planner must not re-plan them).
+    pub fn migrating_records(&self) -> Vec<RecordId> {
+        let mut v: Vec<RecordId> = self
+            .migrations
+            .values()
+            .map(|m| m.job.record)
+            .chain(self.mig_retries.values().map(|j| j.record))
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Migrations currently open on this engine (diagnostics).
+    pub fn open_migrations(&self) -> usize {
+        self.migrations.len() + self.mig_retries.len()
     }
 
     /// Clear accumulated metrics (used to discard warm-up).
@@ -188,9 +265,18 @@ impl EngineActor {
         ctx.set_timer(Duration::ZERO, TOKEN_START | slot as u64);
     }
 
+    /// Jittered exponential backoff after `attempts` NO_WAIT failures
+    /// (fixed backoff lets retry storms phase-lock into livelock under
+    /// heavy contention). Shared by transaction and migration retries.
+    pub(crate) fn backoff_for(&mut self, attempts: u32) -> Duration {
+        let exp = attempts.min(6);
+        let base = self.config.engine.retry_backoff.as_nanos() << exp;
+        let jitter = 0.5 + rand::Rng::gen::<f64>(&mut self.rng);
+        Duration::from_nanos((base as f64 * jitter) as u64)
+    }
+
     /// Schedule a retry of `input` on `slot` after a jittered exponential
-    /// backoff (fixed backoff lets NO_WAIT retry storms phase-lock into
-    /// livelock under heavy contention).
+    /// backoff.
     pub(crate) fn schedule_retry(
         &mut self,
         ctx: &mut Ctx<'_, Msg>,
@@ -199,10 +285,7 @@ impl EngineActor {
         attempts: u32,
         first_start: SimTime,
     ) {
-        let exp = attempts.min(6);
-        let base = self.config.engine.retry_backoff.as_nanos() << exp;
-        let jitter = 0.5 + rand::Rng::gen::<f64>(&mut self.rng);
-        let backoff = Duration::from_nanos((base as f64 * jitter) as u64);
+        let backoff = self.backoff_for(attempts);
         self.retries.insert(slot, (input, attempts, first_start));
         ctx.set_timer(backoff, TOKEN_RETRY | slot as u64);
     }
@@ -211,7 +294,7 @@ impl EngineActor {
         if !self.accepting {
             return;
         }
-        let input = self.source.next_input(&mut self.rng);
+        let input = self.source.next_input(&mut self.rng, ctx.now());
         self.start_attempt(ctx, slot, input, 0, ctx.now());
     }
 
@@ -293,6 +376,16 @@ impl Actor<Msg> for EngineActor {
                 latched,
             } => self.handle_occ_decide(ctx, src, txn, commit, writes, latched),
 
+            // Migration participant side (source partition).
+            Msg::MigrateLock { txn, record } => self.handle_migrate_lock(ctx, src, txn, record),
+            Msg::MigrateFinish { txn, record } => self.handle_migrate_finish(ctx, src, txn, record),
+
+            // Migration coordinator side (destination partition).
+            response @ (Msg::MigrateLockResp { .. } | Msg::MigrateFinishAck { .. }) => {
+                let txn = response.txn();
+                self.on_migration_response(ctx, txn, response);
+            }
+
             // Coordinator side: responses for an open transaction are
             // routed to the active protocol strategy.
             response @ (Msg::LockReadResp { .. }
@@ -303,6 +396,12 @@ impl Actor<Msg> for EngineActor {
             | Msg::OccDecideAck { .. }
             | Msg::OccValidateResp { .. }) => {
                 let txn = response.txn();
+                // Replication acks for migration transactions belong to the
+                // migration state machine, not a coordinator entry.
+                if self.migrations.contains_key(&txn) {
+                    self.on_migration_response(ctx, txn, response);
+                    return;
+                }
                 let Some(mut coord) = self.txns.remove(&txn) else {
                     return;
                 };
@@ -322,6 +421,10 @@ impl Actor<Msg> for EngineActor {
         } else if token & TOKEN_RETRY != 0 {
             if let Some((input, attempts, first_start)) = self.retries.remove(&slot) {
                 self.start_attempt(ctx, slot, input, attempts, first_start);
+            }
+        } else if token & TOKEN_MIG != 0 {
+            if let Some(job) = self.mig_retries.remove(&(token & TOKEN_MASK)) {
+                self.attempt_migration(ctx, job);
             }
         }
     }

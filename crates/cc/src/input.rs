@@ -4,6 +4,7 @@
 //! transaction invocations (the closed-loop driver keeps `concurrency` of
 //! them in flight per engine).
 
+use chiller_common::time::SimTime;
 use chiller_common::value::Value;
 use chiller_sproc::Procedure;
 use rand::rngs::StdRng;
@@ -50,9 +51,11 @@ impl ProcRegistry {
 }
 
 /// Produces the next transaction input for an engine. Implementations must
-/// be deterministic given the RNG handed in (which is seeded per engine).
+/// be deterministic given the RNG handed in (which is seeded per engine)
+/// and the virtual time of the request — `now` lets sources model
+/// time-varying workloads (hotspot shifts, diurnal skew) reproducibly.
 pub trait InputSource: Send {
-    fn next_input(&mut self, rng: &mut StdRng) -> TxnInput;
+    fn next_input(&mut self, rng: &mut StdRng, now: SimTime) -> TxnInput;
 }
 
 /// Fixed round-robin over a list of inputs — used by tests.
@@ -69,7 +72,7 @@ impl ScriptedSource {
 }
 
 impl InputSource for ScriptedSource {
-    fn next_input(&mut self, _rng: &mut StdRng) -> TxnInput {
+    fn next_input(&mut self, _rng: &mut StdRng, _now: SimTime) -> TxnInput {
         let input = self.inputs[self.next % self.inputs.len()].clone();
         self.next += 1;
         input
@@ -108,8 +111,9 @@ mod tests {
             },
         ]);
         let mut rng = seeded(0);
-        assert_eq!(src.next_input(&mut rng).proc, 0);
-        assert_eq!(src.next_input(&mut rng).proc, 1);
-        assert_eq!(src.next_input(&mut rng).proc, 0);
+        let t = SimTime::ZERO;
+        assert_eq!(src.next_input(&mut rng, t).proc, 0);
+        assert_eq!(src.next_input(&mut rng, t).proc, 1);
+        assert_eq!(src.next_input(&mut rng, t).proc, 0);
     }
 }

@@ -31,12 +31,14 @@
 pub mod coordinator;
 pub mod engine;
 pub mod input;
+pub mod migration;
 pub mod msg;
 pub mod participant;
 pub mod protocol;
 
 pub use coordinator::CoordinatorProtocol;
-pub use engine::{EngineActor, EngineReport};
+pub use engine::{EngineActor, EngineReport, HotSet};
 pub use input::{InputSource, ProcRegistry, TxnInput};
+pub use migration::MigrationJob;
 pub use msg::Msg;
 pub use protocol::Protocol;

@@ -135,6 +135,33 @@ pub enum Msg {
         txn: TxnId,
     },
 
+    // ---- Live migration (adaptive repartitioning) -------------------------
+    /// Destination → source: CAS-lock the record's bucket at the source and
+    /// read its row — the same one-sided combination a lock+read wave uses,
+    /// so migrations contend with transactions under plain NO_WAIT rules.
+    MigrateLock {
+        txn: TxnId,
+        record: RecordId,
+    },
+    MigrateLockResp {
+        txn: TxnId,
+        granted: bool,
+        /// The record no longer exists at the source (stale plan): the
+        /// destination abandons the move instead of retrying.
+        missing: bool,
+        /// The current row, when granted.
+        row: Option<Row>,
+    },
+    /// Destination → source after the re-publish flip: delete the source
+    /// copy, release the migration lock, and replicate the deletion.
+    MigrateFinish {
+        txn: TxnId,
+        record: RecordId,
+    },
+    MigrateFinishAck {
+        txn: TxnId,
+    },
+
     // ---- OCC --------------------------------------------------------------
     /// Lock-free versioned read (one-sided).
     OccRead {
@@ -184,6 +211,10 @@ impl Msg {
             | Msg::InnerResult { txn, .. }
             | Msg::Replicate { txn, .. }
             | Msg::ReplicateAck { txn }
+            | Msg::MigrateLock { txn, .. }
+            | Msg::MigrateLockResp { txn, .. }
+            | Msg::MigrateFinish { txn, .. }
+            | Msg::MigrateFinishAck { txn }
             | Msg::OccRead { txn, .. }
             | Msg::OccReadResp { txn, .. }
             | Msg::OccValidate { txn, .. }
@@ -211,6 +242,10 @@ impl Msg {
             | Msg::OccDecide { .. }
             | Msg::OccDecideAck { .. }
             | Msg::ReplicateAck { .. }
+            | Msg::MigrateLock { .. }
+            | Msg::MigrateLockResp { .. }
+            | Msg::MigrateFinish { .. }
+            | Msg::MigrateFinishAck { .. }
             | Msg::InnerResult { .. } => Verb::OneSided,
             // RPCs that consume remote engine CPU.
             Msg::ExecInner { .. } | Msg::Replicate { .. } => Verb::Rpc,
@@ -236,6 +271,11 @@ mod tests {
             Msg::CommitOuterAck { txn: t },
             Msg::ReplicateAck { txn: t },
             Msg::OccDecideAck { txn: t },
+            Msg::MigrateLock {
+                txn: t,
+                record: chiller_common::ids::RecordId::new(chiller_common::ids::TableId(1), 7),
+            },
+            Msg::MigrateFinishAck { txn: t },
         ];
         for m in msgs {
             assert_eq!(m.txn(), t);

@@ -48,13 +48,31 @@ impl EngineActor {
         let mut missing = None;
         for item in &items {
             match self.store.try_lock(item.record, txn, item.mode, now) {
-                Ok(()) => granted.push(item.record),
+                Ok(()) => {
+                    granted.push(item.record);
+                    if let Some(mon) = self.monitor.as_mut() {
+                        mon.on_access(item.record);
+                    }
+                }
                 Err(_) => {
                     conflict = Some(item.record);
+                    if let Some(mon) = self.monitor.as_mut() {
+                        mon.on_conflict(item.record);
+                    }
                     break;
                 }
             }
             let exists = self.store.exists(item.record);
+            if !exists && self.migrated_out.contains(&item.record) {
+                // Stale-routing race: the record migrated away after the
+                // coordinator resolved its placement. Answer as a
+                // retryable conflict — the retry re-resolves through the
+                // directory and lands at the new owner. This covers both
+                // the read/update miss and the insert that would otherwise
+                // succeed here and duplicate the record at its old home.
+                conflict = Some(item.record);
+                break;
+            }
             if exists == item.expect_absent {
                 // Existence precondition failed (missing record, or insert
                 // target already present): a non-retryable fault.
@@ -337,12 +355,27 @@ impl EngineActor {
             );
             let mode = crate::coordinator::lock_mode_for(op);
             if self.store.try_lock(rid, txn, mode, now).is_err() {
+                if let Some(mon) = self.monitor.as_mut() {
+                    mon.on_conflict(rid);
+                }
                 fail = Some(true);
                 break;
             }
             locked.push(rid);
+            if let Some(mon) = self.monitor.as_mut() {
+                mon.on_access(rid);
+            }
             let exists = self.store.exists(rid);
             let expect_absent = matches!(op.kind, OpKind::Insert(_));
+            if !exists && self.migrated_out.contains(&rid) {
+                // Stale split: admission chose this inner host before the
+                // record's flip. Retry (the next attempt re-resolves
+                // through the directory) — for reads/updates a miss here
+                // is not a fault, and an insert must not land at the old
+                // home and duplicate the record.
+                fail = Some(true);
+                break;
+            }
             if exists == expect_absent {
                 fail = Some(false); // existence fault: final
                 break;

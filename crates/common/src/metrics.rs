@@ -198,6 +198,13 @@ pub struct MetricSet {
     pub hot_contention_span: Histogram,
     /// Contention span of all other records.
     pub cold_contention_span: Histogram,
+    /// Live record migrations completed by this engine (destination side).
+    pub migrations_completed: u64,
+    /// Migration attempts that hit a NO_WAIT conflict and were retried.
+    pub migration_retries: u64,
+    /// Migrations abandoned (retry budget exhausted, drained shutdown, or
+    /// the record vanished from the source before the copy).
+    pub migrations_abandoned: u64,
 }
 
 impl MetricSet {
@@ -207,6 +214,9 @@ impl MetricSet {
             latency: Histogram::new(),
             hot_contention_span: Histogram::new(),
             cold_contention_span: Histogram::new(),
+            migrations_completed: 0,
+            migration_retries: 0,
+            migrations_abandoned: 0,
         }
     }
 
@@ -248,6 +258,9 @@ impl MetricSet {
         self.latency.merge(&other.latency);
         self.hot_contention_span.merge(&other.hot_contention_span);
         self.cold_contention_span.merge(&other.cold_contention_span);
+        self.migrations_completed += other.migrations_completed;
+        self.migration_retries += other.migration_retries;
+        self.migrations_abandoned += other.migrations_abandoned;
     }
 }
 

@@ -1,6 +1,8 @@
-//! Cluster construction and execution.
+//! Cluster construction and execution, including the epoch scheduler that
+//! drives online adaptation (monitor drain → replan → migration injection).
 
-use chiller_cc::engine::{EngineActor, EngineParams};
+use chiller_adaptive::{AdaptiveConfig, AdaptivePlanner, Directory, MigrationPlan};
+use chiller_cc::engine::{EngineActor, EngineParams, HotSet};
 use chiller_cc::input::{InputSource, ProcRegistry};
 use chiller_cc::msg::Msg;
 use chiller_cc::Protocol;
@@ -14,7 +16,7 @@ use chiller_sproc::Procedure;
 use chiller_storage::placement::{HashPlacement, Placement};
 use chiller_storage::schema::Schema;
 use chiller_storage::store::PartitionStore;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 use crate::report::RunReport;
@@ -25,19 +27,32 @@ use crate::report::RunReport;
 pub struct RunSpec {
     pub warmup: Duration,
     pub measure: Duration,
+    /// Override of the adaptation epoch length for this run (defaults to
+    /// the cluster's `AdaptiveConfig::epoch`; ignored without adaptation).
+    pub epoch: Option<Duration>,
 }
 
 impl RunSpec {
     pub fn new(warmup: Duration, measure: Duration) -> Self {
-        RunSpec { warmup, measure }
+        RunSpec {
+            warmup,
+            measure,
+            epoch: None,
+        }
     }
 
     /// Convenience: warm-up and measurement in milliseconds of virtual time.
     pub fn millis(warmup_ms: u64, measure_ms: u64) -> Self {
-        RunSpec {
-            warmup: Duration::from_millis(warmup_ms),
-            measure: Duration::from_millis(measure_ms),
-        }
+        RunSpec::new(
+            Duration::from_millis(warmup_ms),
+            Duration::from_millis(measure_ms),
+        )
+    }
+
+    /// Override the adaptation epoch length for this run.
+    pub fn with_epoch(mut self, epoch: Duration) -> Self {
+        self.epoch = Some(epoch);
+        self
     }
 }
 
@@ -56,6 +71,7 @@ pub struct ClusterBuilder {
     hot: HashSet<RecordId>,
     records: Vec<(RecordId, Row)>,
     source_factory: Option<SourceFactory>,
+    adaptive: Option<AdaptiveConfig>,
 }
 
 impl ClusterBuilder {
@@ -71,6 +87,7 @@ impl ClusterBuilder {
             hot: HashSet::new(),
             records: Vec::new(),
             source_factory: None,
+            adaptive: None,
         }
     }
 
@@ -117,6 +134,16 @@ impl ClusterBuilder {
         self
     }
 
+    /// Enable online adaptation: the provided (or default) placement
+    /// becomes the *default* layer of a mutable [`Directory`], the seed hot
+    /// set becomes its initial entries, every engine gets a
+    /// `ContentionMonitor`, and [`Cluster::run`] drives the epoch loop
+    /// (drain monitors → replan → inject migrations).
+    pub fn adaptive(&mut self, cfg: AdaptiveConfig) -> &mut Self {
+        self.adaptive = Some(cfg);
+        self
+    }
+
     pub fn build(self) -> Result<Cluster> {
         let source_factory = self
             .source_factory
@@ -126,11 +153,59 @@ impl ClusterBuilder {
                 "no stored procedures registered".into(),
             ));
         }
-        let placement: Arc<dyn Placement + Send + Sync> = self
+        if self.adaptive.is_some() && self.protocol == Protocol::Occ {
+            return Err(ChillerError::Config(
+                "online adaptation supports the lock-based protocols (Chiller, 2PL); \
+                 OCC validation is version-based and does not retry migrated records"
+                    .into(),
+            ));
+        }
+        if let Some(cfg) = &self.adaptive {
+            if cfg.epoch == Duration::ZERO {
+                return Err(ChillerError::Config(
+                    "adaptation epoch must be non-zero".into(),
+                ));
+            }
+        }
+        let base_placement: Arc<dyn Placement + Send + Sync> = self
             .placement
             .unwrap_or_else(|| Arc::new(HashPlacement::new(self.nodes as u32)));
         let registry = Arc::new(self.registry);
-        let hot = Arc::new(self.hot);
+
+        // With adaptation, the run-time placement is a mutable directory
+        // whose entries initially mirror the seed layout for the hot set —
+        // routing starts out identical to the frozen configuration.
+        let (placement, hot_set, adaptive): (
+            Arc<dyn Placement + Send + Sync>,
+            HotSet,
+            Option<AdaptiveState>,
+        ) = match self.adaptive {
+            None => (base_placement, HotSet::Static(Arc::new(self.hot)), None),
+            Some(cfg) => {
+                let entries: Vec<(RecordId, PartitionId)> = self
+                    .hot
+                    .iter()
+                    .map(|&r| (r, base_placement.partition_of(r)))
+                    .collect();
+                let directory = Arc::new(Directory::new(
+                    base_placement,
+                    entries,
+                    self.hot.iter().copied(),
+                ));
+                let planner = AdaptivePlanner::new(cfg.clone(), self.nodes as u32);
+                (
+                    directory.clone(),
+                    HotSet::Adaptive(directory.clone()),
+                    Some(AdaptiveState {
+                        cfg,
+                        directory,
+                        planner,
+                        next_epoch: SimTime::ZERO,
+                        stats: AdaptiveStats::default(),
+                    }),
+                )
+            }
+        };
 
         // Primary stores.
         let mut primaries: Vec<PartitionStore> = (0..self.nodes)
@@ -174,6 +249,14 @@ impl ClusterBuilder {
         let mut actors = Vec::with_capacity(self.nodes);
         for (n, (store, reps)) in primaries.into_iter().zip(replicas).enumerate() {
             let node = NodeId(n as u32);
+            let monitor = adaptive.as_ref().map(|a| {
+                chiller_adaptive::ContentionMonitor::new(
+                    a.cfg.sample_every,
+                    a.cfg.max_samples_per_epoch,
+                    a.cfg.sketch_decay,
+                    a.cfg.max_sketch_records,
+                )
+            });
             actors.push(EngineActor::new(EngineParams {
                 node,
                 num_nodes: self.nodes,
@@ -181,34 +264,95 @@ impl ClusterBuilder {
                 config: self.config.clone(),
                 registry: registry.clone(),
                 placement: placement.clone(),
-                hot: hot.clone(),
+                hot: hot_set.clone(),
                 store,
                 replicas: reps,
                 source: source_factory(node),
+                monitor,
             }));
         }
         Ok(Cluster {
             sim: Simulation::new(actors, self.config.network.clone()),
+            adaptive,
         })
     }
+}
+
+/// Control-plane state of an adapting cluster.
+struct AdaptiveState {
+    cfg: AdaptiveConfig,
+    directory: Arc<Directory>,
+    planner: AdaptivePlanner,
+    next_epoch: SimTime,
+    stats: AdaptiveStats,
+}
+
+/// Running totals of the adaptation loop (control-plane view; the
+/// data-plane migration counters live in the engine metrics).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdaptiveStats {
+    pub epochs: u64,
+    pub plans: u64,
+    pub moves_planned: u64,
+    pub promotions: u64,
+    pub demotions: u64,
 }
 
 /// A built cluster ready to run.
 pub struct Cluster {
     sim: Simulation<Msg, EngineActor>,
+    adaptive: Option<AdaptiveState>,
 }
 
 impl Cluster {
     /// Run warm-up (metrics discarded) then the measured window; report.
+    /// With adaptation enabled, both windows are driven by the epoch
+    /// scheduler (monitoring starts during warm-up, so the planner has data
+    /// by the time measurement begins).
     pub fn run(&mut self, spec: RunSpec) -> RunReport {
+        // `RunSpec::epoch` overrides the epoch length for this run only.
+        let saved_epoch = match (self.adaptive.as_mut(), spec.epoch) {
+            (Some(state), Some(epoch)) => {
+                assert!(
+                    epoch > Duration::ZERO,
+                    "adaptation epoch override must be non-zero"
+                );
+                let saved = state.cfg.epoch;
+                state.cfg.epoch = epoch;
+                Some(saved)
+            }
+            _ => None,
+        };
         let start = self.sim.now();
-        self.sim.run_until(start + spec.warmup);
+        self.advance(start + spec.warmup);
+        self.reset_metrics();
+        let measure_start = self.sim.now();
+        self.advance(measure_start + spec.measure);
+        let elapsed = self.sim.now() - measure_start;
+        if let (Some(state), Some(saved)) = (self.adaptive.as_mut(), saved_epoch) {
+            state.cfg.epoch = saved;
+        }
+        self.collect(elapsed)
+    }
+
+    /// Continue running without resetting metrics (incremental windows).
+    /// The adaptation loop, when enabled, keeps running.
+    pub fn run_more(&mut self, d: Duration) -> RunReport {
+        let start = self.sim.now();
+        self.advance(start + d);
+        let elapsed = self.sim.now() - start;
+        self.collect(elapsed)
+    }
+
+    /// Clear accumulated engine metrics (used to delimit measurement
+    /// phases, e.g. before and after a workload shift).
+    pub fn reset_metrics(&mut self) {
         for engine in self.sim.actors_mut() {
             engine.reset_metrics();
         }
-        let measure_start = self.sim.now();
-        self.sim.run_until(measure_start + spec.measure);
-        let elapsed = self.sim.now() - measure_start;
+    }
+
+    fn collect(&self, elapsed: Duration) -> RunReport {
         RunReport::collect(
             elapsed,
             self.sim.stats(),
@@ -216,16 +360,94 @@ impl Cluster {
         )
     }
 
-    /// Continue running without resetting metrics (incremental windows).
-    pub fn run_more(&mut self, d: Duration) -> RunReport {
-        let start = self.sim.now();
-        self.sim.run_until(start + d);
-        let elapsed = self.sim.now() - start;
-        RunReport::collect(
-            elapsed,
-            self.sim.stats(),
-            self.sim.actors().iter().map(EngineActor::report).collect(),
-        )
+    /// Advance virtual time to `until`, pausing at every epoch boundary to
+    /// run the adaptation control step.
+    fn advance(&mut self, until: SimTime) {
+        if self.adaptive.is_none() {
+            self.sim.run_until(until);
+            return;
+        }
+        loop {
+            let next_epoch = {
+                let state = self.adaptive.as_mut().expect("checked above");
+                if state.next_epoch <= self.sim.now() {
+                    state.next_epoch = self.sim.now() + state.cfg.epoch;
+                }
+                state.next_epoch
+            };
+            if next_epoch > until {
+                self.sim.run_until(until);
+                return;
+            }
+            self.sim.run_until(next_epoch);
+            self.control_step();
+            let state = self.adaptive.as_mut().expect("checked above");
+            state.next_epoch = next_epoch + state.cfg.epoch;
+            if next_epoch == until {
+                return;
+            }
+        }
+    }
+
+    /// One epoch boundary: drain every engine's monitor (node order),
+    /// replan over the window, apply metadata flips, and inject the planned
+    /// migrations at their destination engines.
+    fn control_step(&mut self) {
+        let state = self.adaptive.as_mut().expect("adaptive control step");
+        state.stats.epochs += 1;
+        let summaries: Vec<chiller_adaptive::EpochSummary> = self
+            .sim
+            .actors_mut()
+            .iter_mut()
+            .filter_map(EngineActor::take_epoch_summary)
+            .collect();
+        state.planner.absorb(&summaries);
+
+        let in_flight: HashSet<RecordId> = self
+            .sim
+            .actors()
+            .iter()
+            .flat_map(EngineActor::migrating_records)
+            .collect();
+        let plan: MigrationPlan = state.planner.plan(&state.directory, &in_flight);
+        if plan.is_empty() {
+            return;
+        }
+        state.stats.plans += 1;
+        state.stats.moves_planned += plan.moves.len() as u64;
+        state.stats.promotions += plan.promotions.len() as u64;
+        state.stats.demotions += plan.demotions.len() as u64;
+
+        // Metadata-only flips apply immediately at the boundary.
+        for (r, at) in &plan.promotions {
+            state.directory.promote(*r, *at);
+        }
+        for r in &plan.demotions {
+            state.directory.demote(*r);
+        }
+
+        // Data movements: injected at each destination engine, node order.
+        let mut by_dst: BTreeMap<u32, Vec<chiller_adaptive::RecordMove>> = BTreeMap::new();
+        for mv in plan.moves {
+            by_dst.entry(mv.to.0).or_default().push(mv);
+        }
+        for (dst, moves) in by_dst {
+            self.sim.with_actor_ctx(NodeId(dst), |engine, ctx| {
+                for mv in moves {
+                    engine.begin_migration(ctx, mv);
+                }
+            });
+        }
+    }
+
+    /// Control-plane totals of the adaptation loop (zeros when disabled).
+    pub fn adaptive_stats(&self) -> AdaptiveStats {
+        self.adaptive.as_ref().map(|a| a.stats).unwrap_or_default()
+    }
+
+    /// The live placement directory, when adaptation is enabled.
+    pub fn directory(&self) -> Option<&Arc<Directory>> {
+        self.adaptive.as_ref().map(|a| &a.directory)
     }
 
     pub fn now(&self) -> SimTime {
@@ -241,9 +463,47 @@ impl Cluster {
         self.sim.num_nodes()
     }
 
+    /// Number of `(record, row)` divergences between each primary
+    /// partition and its replica copies — 0 when replication is consistent.
+    /// Meaningful after [`Self::quiesce`].
+    pub fn replica_divergence(&self) -> usize {
+        let mut diverged = 0;
+        for primary in self.sim.actors() {
+            let p = primary.store().partition;
+            for holder in self.sim.actors() {
+                let Some(replica) = holder.replica_store(p) else {
+                    continue;
+                };
+                for (table, primary_table) in primary.store().tables() {
+                    let replica_table = replica.table(*table);
+                    let mut primary_rows: Vec<(&u64, &Row)> = primary_table.iter().collect();
+                    let mut replica_rows: Vec<(&u64, &Row)> = replica_table.iter().collect();
+                    primary_rows.sort_by_key(|(k, _)| **k);
+                    replica_rows.sort_by_key(|(k, _)| **k);
+                    if primary_rows != replica_rows {
+                        let keys_differ = primary_rows
+                            .iter()
+                            .map(|(k, _)| **k)
+                            .ne(replica_rows.iter().map(|(k, _)| **k));
+                        diverged += if keys_differ {
+                            primary_rows.len().abs_diff(replica_rows.len()).max(1)
+                        } else {
+                            primary_rows
+                                .iter()
+                                .zip(&replica_rows)
+                                .filter(|(a, b)| a != b)
+                                .count()
+                        };
+                    }
+                }
+            }
+        }
+        diverged
+    }
+
     /// Stop all engines from pulling new inputs and run the simulation to
-    /// quiescence, so every in-flight transaction completes (or finally
-    /// aborts) and all locks are released. Used before invariant checks.
+    /// quiescence, so every in-flight transaction (and migration) completes
+    /// and all locks are released. Used before invariant checks.
     pub fn quiesce(&mut self) {
         for engine in self.sim.actors_mut() {
             engine.stop_accepting();

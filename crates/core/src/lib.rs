@@ -53,13 +53,14 @@ pub mod cluster;
 pub mod experiment;
 pub mod report;
 
-pub use cluster::{Cluster, ClusterBuilder, RunSpec};
+pub use cluster::{AdaptiveStats, Cluster, ClusterBuilder, RunSpec};
 pub use report::RunReport;
 
 /// Convenience re-exports covering the whole public API surface.
 pub mod prelude {
-    pub use crate::cluster::{Cluster, ClusterBuilder, RunSpec};
+    pub use crate::cluster::{AdaptiveStats, Cluster, ClusterBuilder, RunSpec};
     pub use crate::report::RunReport;
+    pub use chiller_adaptive::{AdaptiveConfig, Directory};
     pub use chiller_cc::input::{InputSource, ProcRegistry, ScriptedSource, TxnInput};
     pub use chiller_cc::Protocol;
     pub use chiller_common::config::{EngineConfig, NetworkConfig, ReplicationConfig, SimConfig};

@@ -73,6 +73,21 @@ impl RunReport {
         self.metrics.overall_distributed_ratio()
     }
 
+    /// Live record migrations completed during the window (adaptive runs).
+    pub fn migrations_completed(&self) -> u64 {
+        self.metrics.migrations_completed
+    }
+
+    /// Migration attempts that hit a NO_WAIT conflict and backed off.
+    pub fn migration_retries(&self) -> u64 {
+        self.metrics.migration_retries
+    }
+
+    /// Migrations abandoned (stale plan, retry budget, or drain).
+    pub fn migrations_abandoned(&self) -> u64 {
+        self.metrics.migrations_abandoned
+    }
+
     /// Mean committed-transaction latency in microseconds.
     pub fn mean_latency_us(&self) -> f64 {
         self.metrics.latency.mean() / 1_000.0

@@ -48,7 +48,7 @@ struct TransferSource {
 }
 
 impl InputSource for TransferSource {
-    fn next_input(&mut self, rng: &mut rand::rngs::StdRng) -> TxnInput {
+    fn next_input(&mut self, rng: &mut rand::rngs::StdRng, _now: SimTime) -> TxnInput {
         let hot = rng.gen::<f64>() < self.hot_fraction;
         let (a, b) = if hot {
             (rng.gen_range(0..4u64), 4 + rng.gen_range(0..4u64))

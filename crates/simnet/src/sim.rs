@@ -394,6 +394,24 @@ impl<M, A: Actor<M>> Simulation<M, A> {
         }
         n
     }
+
+    /// Run `f` against one actor with a live [`Ctx`] at the current virtual
+    /// time, outside normal event dispatch. This is the control-plane
+    /// injection point: an epoch scheduler pauses the simulation at a
+    /// boundary, inspects/mutates actors, and lets them send messages or
+    /// set timers. Determinism is preserved as long as callers inject at
+    /// deterministic times in a deterministic node order.
+    pub fn with_actor_ctx<R>(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut A, &mut Ctx<'_, M>) -> R,
+    ) -> R {
+        let mut ctx = Ctx {
+            core: &mut self.core,
+            node,
+        };
+        f(&mut self.actors[node.idx()], &mut ctx)
+    }
 }
 
 #[cfg(test)]
@@ -575,6 +593,26 @@ mod tests {
         // Continue: no events were lost.
         let n2 = sim.run_until(SimTime(200));
         assert!(n2 > 0);
+    }
+
+    #[test]
+    fn with_actor_ctx_injects_sends_and_timers() {
+        let mut sim = Simulation::new(vec![Recorder::default(), Recorder::default()], net());
+        sim.run_until(SimTime(10));
+        // Control-plane injection at t=10: node 0 sends to node 1 and arms
+        // a timer on itself.
+        sim.with_actor_ctx(NodeId(0), |_actor, ctx| {
+            assert_eq!(ctx.now(), SimTime(10));
+            assert_eq!(ctx.node(), NodeId(0));
+            ctx.send(NodeId(1), Verb::OneSided, 77);
+            ctx.set_timer(Duration::from_nanos(5), 9);
+        });
+        sim.run_to_quiescence(100);
+        assert_eq!(
+            sim.actors()[1].received,
+            vec![(SimTime(1_010), NodeId(0), 77)]
+        );
+        assert_eq!(sim.actors()[0].timers, vec![(SimTime(15), 9)]);
     }
 
     #[test]

@@ -93,6 +93,12 @@ impl PartitionStore {
             .unwrap_or_else(|| panic!("no table {id}"))
     }
 
+    /// Iterate `(table id, table store)` pairs, unordered (used by
+    /// replica-consistency checks and diagnostics).
+    pub fn tables(&self) -> impl Iterator<Item = (&TableId, &TableStore)> {
+        self.tables.iter()
+    }
+
     // ---- record access -------------------------------------------------
 
     pub fn read(&self, rid: RecordId) -> Result<&Row> {

@@ -1,11 +1,14 @@
 //! Property tests: lock-word invariants under arbitrary operation
-//! sequences, and key-packer round trips.
+//! sequences, key-packer round trips, and placement-layer laws
+//! (lookup-table consistency, size accounting, explicit fallback).
 
-use chiller_common::ids::{NodeId, TxnId};
+use chiller_common::ids::{NodeId, PartitionId, RecordId, TableId, TxnId};
 use chiller_common::time::SimTime;
 use chiller_storage::lock::{LockMode, LockState};
+use chiller_storage::placement::{ExplicitPlacement, HashPlacement, LookupTable, Placement};
 use chiller_storage::schema::KeyPacker;
 use proptest::prelude::*;
+use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -70,6 +73,76 @@ proptest! {
                 }
             }
             prop_assert_eq!(lock.is_free(), exclusive.is_none() && shared.is_empty());
+        }
+    }
+
+    /// LookupTable law: `is_hot(r)` ⇔ an entry exists ⇔ `partition_of(r)`
+    /// returns the entry; all other records fall through to the default,
+    /// and `lookup_entries` counts exactly the distinct inserted records.
+    #[test]
+    fn lookup_table_hot_entry_consistency(
+        entries in prop::collection::vec((0u64..64, 0u32..4), 0..40),
+        probes in prop::collection::vec(0u64..96, 1..40),
+        k in 1u32..6,
+    ) {
+        let mut lt = LookupTable::new(HashPlacement::new(k));
+        let mut model: HashMap<RecordId, PartitionId> = HashMap::new();
+        for (key, p) in entries {
+            let rid = RecordId::new(TableId(1), key);
+            lt.insert(rid, PartitionId(p));
+            model.insert(rid, PartitionId(p));
+        }
+        prop_assert_eq!(lt.lookup_entries(), model.len());
+        let fallback = HashPlacement::new(k);
+        for key in probes {
+            let rid = RecordId::new(TableId(1), key);
+            prop_assert_eq!(lt.is_hot(rid), model.contains_key(&rid));
+            let expect = model.get(&rid).copied().unwrap_or_else(|| fallback.partition_of(rid));
+            prop_assert_eq!(lt.partition_of(rid), expect);
+        }
+        // Every hot entry is enumerable and self-consistent.
+        for (r, p) in lt.hot_entries() {
+            prop_assert_eq!(model.get(r), Some(p));
+        }
+    }
+
+    /// `approx_size_bytes` is monotone under `insert` and exactly linear in
+    /// the number of distinct entries.
+    #[test]
+    fn lookup_table_size_monotone_under_insert(
+        keys in prop::collection::vec(0u64..50, 1..80),
+    ) {
+        let mut lt = LookupTable::new(HashPlacement::new(4));
+        let mut last = lt.approx_size_bytes();
+        for key in keys {
+            lt.insert(RecordId::new(TableId(1), key), PartitionId(0));
+            let now = lt.approx_size_bytes();
+            prop_assert!(now >= last, "size must never shrink on insert");
+            last = now;
+        }
+        let per_entry = std::mem::size_of::<RecordId>() + std::mem::size_of::<PartitionId>();
+        prop_assert_eq!(last, lt.lookup_entries() * per_entry);
+    }
+
+    /// ExplicitPlacement: mapped records obey the map; unmapped records
+    /// (e.g. inserts created after partitioning) obey the fallback.
+    #[test]
+    fn explicit_placement_fallback_correctness(
+        mapped in prop::collection::vec((0u64..64, 0u32..4), 0..40),
+        probes in prop::collection::vec(0u64..128, 1..40),
+        k in 1u32..6,
+    ) {
+        let map: HashMap<RecordId, PartitionId> = mapped
+            .into_iter()
+            .map(|(key, p)| (RecordId::new(TableId(2), key), PartitionId(p)))
+            .collect();
+        let ep = ExplicitPlacement::new(map.clone(), HashPlacement::new(k));
+        prop_assert_eq!(ep.lookup_entries(), map.len());
+        let fallback = HashPlacement::new(k);
+        for key in probes {
+            let rid = RecordId::new(TableId(2), key);
+            let expect = map.get(&rid).copied().unwrap_or_else(|| fallback.partition_of(rid));
+            prop_assert_eq!(ep.partition_of(rid), expect);
         }
     }
 

@@ -188,7 +188,7 @@ impl FlightSource {
 }
 
 impl InputSource for FlightSource {
-    fn next_input(&mut self, rng: &mut StdRng) -> TxnInput {
+    fn next_input(&mut self, rng: &mut StdRng, _now: SimTime) -> TxnInput {
         let flight = self.zipf.sample(rng) as u64;
         let cust = rng.gen_range(0..self.customers);
         TxnInput {

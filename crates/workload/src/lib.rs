@@ -17,9 +17,12 @@
 //!   controllable hot set (used by the quickstart and ablation benches).
 //! * [`ycsb`] — a YCSB-style key-value microworkload with Zipfian skew,
 //!   for controlled studies of the engines.
+//! * [`shift`] — hotspot-*shifting* wrappers over any source: the drifting
+//!   workloads that motivate the online-adaptation subsystem.
 
 pub mod flight;
 pub mod instacart;
+pub mod shift;
 pub mod tpcc;
 pub mod transfer;
 pub mod ycsb;

@@ -212,7 +212,7 @@ impl TpccSource {
 }
 
 impl InputSource for TpccSource {
-    fn next_input(&mut self, rng: &mut StdRng) -> TxnInput {
+    fn next_input(&mut self, rng: &mut StdRng, _now: SimTime) -> TxnInput {
         let roll = rng.gen_range(0..100u32);
         let m = self.mix;
         if roll < m.new_order {
@@ -287,7 +287,7 @@ mod tests {
         let mut counts = [0usize; 5];
         let n = 20_000;
         for _ in 0..n {
-            let input = src.next_input(&mut rng);
+            let input = src.next_input(&mut rng, SimTime::ZERO);
             // Classify by param shape.
             let idx = if input.proc < MAX_LINES - MIN_LINES + 1 {
                 0
@@ -308,7 +308,7 @@ mod tests {
         let mut remote = 0;
         let mut total = 0;
         for _ in 0..50_000 {
-            let input = src.next_input(&mut rng);
+            let input = src.next_input(&mut rng, SimTime::ZERO);
             if input.proc > MAX_LINES - MIN_LINES {
                 continue; // not NewOrder
             }
@@ -331,7 +331,7 @@ mod tests {
         let mut remote = 0;
         let mut total = 0;
         for _ in 0..50_000 {
-            let input = src.next_input(&mut rng);
+            let input = src.next_input(&mut rng, SimTime::ZERO);
             if input.proc != src.procs.payment {
                 continue;
             }
@@ -350,7 +350,7 @@ mod tests {
         let mut rng = seeded(13);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..10_000 {
-            let input = src.next_input(&mut rng);
+            let input = src.next_input(&mut rng, SimTime::ZERO);
             if input.proc == src.procs.payment {
                 assert!(seen.insert(input.params[4].as_i64()));
             }
@@ -362,7 +362,7 @@ mod tests {
         let mut src = source();
         let mut rng = seeded(17);
         for _ in 0..5_000 {
-            let input = src.next_input(&mut rng);
+            let input = src.next_input(&mut rng, SimTime::ZERO);
             // Every district-scoped key param must be home (warehouse 2),
             // except customer (payment) and stock (new order) keys.
             if input.proc == src.procs.delivery || input.proc == src.procs.stock_level {

@@ -95,7 +95,7 @@ impl TransferSource {
 }
 
 impl InputSource for TransferSource {
-    fn next_input(&mut self, rng: &mut StdRng) -> TxnInput {
+    fn next_input(&mut self, rng: &mut StdRng, _now: SimTime) -> TxnInput {
         let c = &self.cfg;
         let (a, b) = if rng.gen::<f64>() < c.hot_fraction && c.hot_set >= 2 {
             let a = rng.gen_range(0..c.hot_set);
@@ -117,6 +117,58 @@ impl InputSource for TransferSource {
             params: vec![Value::from(a), Value::from(b), Value::F64(1.0)],
         }
     }
+}
+
+/// A hot-set-shifting transfer source: from `shift_at` on, hot endpoints
+/// `0..hot_set` are relabeled to `new_base..new_base + hot_set` — the
+/// contention point jumps to accounts the frozen layout scattered by hash.
+pub fn shifting_source(
+    cfg: &TransferConfig,
+    proc: usize,
+    shift_at: SimTime,
+    new_base: u64,
+) -> crate::shift::ShiftedSource<TransferSource> {
+    assert!(new_base + cfg.hot_set <= cfg.accounts);
+    let hot_set = cfg.hot_set;
+    crate::shift::ShiftedSource::new(
+        TransferSource::new(cfg.clone(), proc),
+        shift_at,
+        move |input| {
+            for p in input.params.iter_mut().take(2) {
+                let k = p.as_i64() as u64;
+                if k < hot_set {
+                    *p = Value::from(new_base + k);
+                }
+            }
+        },
+    )
+}
+
+/// Build a transfer cluster whose hot set jumps to `new_base` at
+/// `shift_at`, optionally with the online-adaptation loop enabled.
+pub fn build_shifting_cluster(
+    cfg: &TransferConfig,
+    nodes: usize,
+    protocol: Protocol,
+    sim: SimConfig,
+    shift_at: SimTime,
+    new_base: u64,
+    adaptive: Option<AdaptiveConfig>,
+) -> Cluster {
+    let mut builder = ClusterBuilder::new(TransferConfig::schema(), nodes);
+    let proc = builder.register_proc(transfer_proc());
+    builder
+        .protocol(protocol)
+        .config(sim)
+        .placement(Arc::new(cfg.chiller_placement(nodes as u32)))
+        .hot_records(cfg.hot_records())
+        .load(cfg.initial_records());
+    if let Some(a) = adaptive {
+        builder.adaptive(a);
+    }
+    let cfg = cfg.clone();
+    builder.source_per_node(move |_| Box::new(shifting_source(&cfg, proc, shift_at, new_base)));
+    builder.build().expect("valid shifting transfer cluster")
 }
 
 /// Build a transfer cluster with the Chiller-style hot-set placement.
@@ -180,7 +232,7 @@ mod tests {
         let mut hot = 0;
         let n = 20_000;
         for _ in 0..n {
-            let input = src.next_input(&mut rng);
+            let input = src.next_input(&mut rng, SimTime::ZERO);
             if (input.params[0].as_i64() as u64) < cfg.hot_set {
                 hot += 1;
             }
@@ -194,7 +246,7 @@ mod tests {
         let mut src = TransferSource::new(TransferConfig::default(), 0);
         let mut rng = seeded(2);
         for _ in 0..10_000 {
-            let input = src.next_input(&mut rng);
+            let input = src.next_input(&mut rng, SimTime::ZERO);
             assert_ne!(input.params[0].as_i64(), input.params[1].as_i64());
         }
     }

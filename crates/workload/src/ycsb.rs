@@ -107,7 +107,7 @@ impl YcsbSource {
 }
 
 impl InputSource for YcsbSource {
-    fn next_input(&mut self, rng: &mut StdRng) -> TxnInput {
+    fn next_input(&mut self, rng: &mut StdRng, _now: SimTime) -> TxnInput {
         let ops = self.cfg.ops_per_txn;
         let reads = (0..ops)
             .filter(|_| rng.gen::<f64>() < self.cfg.read_fraction)
@@ -125,6 +125,64 @@ impl InputSource for YcsbSource {
             params: keys.into_iter().map(Value::from).collect(),
         }
     }
+}
+
+/// A hotspot-shifting YCSB source: from `shift_at` on, every key `k`
+/// rotates to `(k + rotate) % records`, relocating the whole Zipf head to
+/// a different key range while keeping the skew shape identical.
+pub fn shifting_source(
+    cfg: &YcsbConfig,
+    procs: YcsbProcs,
+    shift_at: SimTime,
+    rotate: u64,
+) -> crate::shift::ShiftedSource<YcsbSource> {
+    let records = cfg.records;
+    crate::shift::ShiftedSource::new(YcsbSource::new(cfg, procs), shift_at, move |input| {
+        for p in &mut input.params {
+            *p = crate::shift::rotate_key(p, rotate, records);
+        }
+    })
+}
+
+/// Build a YCSB cluster whose hotspot rotates by `rotate` keys at
+/// `shift_at` — the drifting workload of the adaptive-recovery experiment.
+/// `adaptive` switches the cluster between the frozen layout (None) and
+/// the online feedback loop (Some).
+#[allow(clippy::too_many_arguments)]
+pub fn build_shifting_cluster(
+    cfg: &YcsbConfig,
+    nodes: usize,
+    hot_lookup: usize,
+    protocol: Protocol,
+    sim: SimConfig,
+    shift_at: SimTime,
+    rotate: u64,
+    adaptive: Option<AdaptiveConfig>,
+) -> Cluster {
+    let mut builder = ClusterBuilder::new(YcsbConfig::schema(), nodes);
+    let procs = register_procs(cfg.ops_per_txn, |p| builder.register_proc(p));
+    let placement: Arc<dyn Placement + Send + Sync> = if hot_lookup > 0 {
+        Arc::new(LookupTable::with_entries(
+            (0..hot_lookup as u64).map(|k| (RecordId::new(KV, k), PartitionId(0))),
+            HashPlacement::new(nodes as u32),
+        ))
+    } else {
+        Arc::new(HashPlacement::new(nodes as u32))
+    };
+    builder
+        .protocol(protocol)
+        .config(sim)
+        .placement(placement)
+        .hot_records(cfg.hot_records(hot_lookup))
+        .load(cfg.initial_records());
+    if let Some(a) = adaptive {
+        builder.adaptive(a);
+    }
+    let cfg2 = cfg.clone();
+    builder.source_per_node(move |_| {
+        Box::new(shifting_source(&cfg2, procs.clone(), shift_at, rotate))
+    });
+    builder.build().expect("valid shifting ycsb cluster")
 }
 
 /// Build a YCSB cluster; hot keys get lookup entries on partition 0 when
@@ -192,7 +250,7 @@ mod tests {
         let mut reads = 0usize;
         let n = 5_000;
         for _ in 0..n {
-            let input = src.next_input(&mut rng);
+            let input = src.next_input(&mut rng, SimTime::ZERO);
             reads += input.proc; // proc index == number of reads
         }
         let frac = reads as f64 / (n * cfg.ops_per_txn) as f64;

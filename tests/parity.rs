@@ -16,7 +16,9 @@
 
 use chiller::cluster::RunSpec;
 use chiller::prelude::*;
-use chiller_workload::transfer::{build_cluster, total_balance, TransferConfig, INITIAL_BALANCE};
+use chiller_workload::transfer::{
+    build_cluster, build_shifting_cluster, total_balance, TransferConfig, INITIAL_BALANCE,
+};
 
 const NODES: usize = 4;
 
@@ -95,6 +97,109 @@ fn identical_seeds_yield_byte_identical_engine_reports() {
             "{protocol}: seed is being ignored somewhere"
         );
     }
+}
+
+/// Build a transfer cluster whose hot set jumps from accounts 0..8 to
+/// 200..208 at 3ms, with the online-adaptation loop on: by end of run the
+/// planner must have detected the new hot set and migrated records.
+fn adaptive_shifting_cluster(seed: u64, concurrency: usize) -> Cluster {
+    let cfg = contended_config();
+    let adaptive = AdaptiveConfig {
+        epoch: Duration::from_millis(1),
+        sample_every: 1,
+        min_window_txns: 100,
+        ..AdaptiveConfig::default()
+    };
+    build_shifting_cluster(
+        &cfg,
+        NODES,
+        Protocol::Chiller,
+        sim_config(seed, concurrency),
+        SimTime::from_millis(3),
+        200,
+        Some(adaptive),
+    )
+}
+
+#[test]
+fn adaptive_migrations_preserve_balance_locks_and_replicas() {
+    let mut cluster = adaptive_shifting_cluster(19, 4);
+    let report = cluster.run(RunSpec::millis(1, 12));
+    assert!(report.total_commits() > 100, "{}", report.summary());
+    assert!(
+        report.migrations_completed() > 0,
+        "the shifted hot set must trigger live migrations \
+         (stats: {:?})",
+        cluster.adaptive_stats()
+    );
+    cluster.quiesce();
+
+    // 1. Balance conservation across completed migrations: records moved
+    //    between partitions, money did not appear or vanish.
+    let cfg = contended_config();
+    let total = total_balance(&cluster);
+    let expect = cfg.accounts as f64 * INITIAL_BALANCE;
+    assert!(
+        (total - expect).abs() < 1e-6,
+        "balance {total} != {expect} across migrations"
+    );
+
+    // 2. No lost or duplicated records: every account exists exactly once
+    //    across the primaries.
+    let total_records: usize = cluster
+        .engines()
+        .iter()
+        .map(|e| e.store().num_records())
+        .sum();
+    assert_eq!(
+        total_records, cfg.accounts as usize,
+        "records lost or duplicated"
+    );
+
+    // 3. No leaked locks, no zombie transactions or migrations.
+    for engine in cluster.engines() {
+        assert!(engine.store().all_locks_free(), "leaked locks");
+        assert_eq!(engine.open_txns(), 0, "zombie transactions");
+        assert_eq!(engine.open_migrations(), 0, "zombie migrations");
+    }
+
+    // 4. Replicas match primaries at quiescence — including partitions
+    //    records migrated into and out of.
+    assert_eq!(cluster.replica_divergence(), 0, "replicas diverged");
+
+    // 5. The directory routes every record to the partition that holds it.
+    let dir = cluster.directory().expect("adaptive cluster").clone();
+    for engine in cluster.engines() {
+        let p = engine.store().partition;
+        for (table, ts) in engine.store().tables() {
+            for (key, _) in ts.iter() {
+                let rid = RecordId::new(*table, *key);
+                assert_eq!(
+                    chiller_storage::placement::Placement::partition_of(&*dir, rid),
+                    p,
+                    "directory must route {rid} to its owner"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn adaptive_runs_are_byte_identical_per_seed() {
+    let run = |seed| {
+        let mut cluster = adaptive_shifting_cluster(seed, 3);
+        let report = cluster.run(RunSpec::millis(1, 10));
+        (report_bytes(&report), report.migrations_completed())
+    };
+    let (a, mig_a) = run(42);
+    let (b, _) = run(42);
+    assert!(mig_a > 0, "comparison must cover actual migrations");
+    assert_eq!(
+        a, b,
+        "identical seeds must reproduce byte-identical reports with adaptation on"
+    );
+    let (c, _) = run(43);
+    assert_ne!(a, c, "seed is being ignored somewhere in the adaptive path");
 }
 
 #[test]
