@@ -59,6 +59,7 @@ fn main() {
     emit(
         "ablation_network",
         "Ablation: network class (TPC-C, 4 concurrent/warehouse)",
+        Backend::Simulated,
         &[
             "network",
             "2pl_ktps",

@@ -81,6 +81,7 @@ fn main() {
     emit(
         "ablation_reorder",
         "Ablation: re-ordering alone vs the full co-design (transfer workload)",
+        Backend::Simulated,
         &["configuration", "ktps", "abort", "vs baseline"],
         &rows,
         &[(

@@ -60,6 +60,7 @@ fn main() {
     emit(
         "fig10",
         "Figure 10: throughput vs % distributed transactions (K txns/s)",
+        Backend::Simulated,
         &header,
         &rows,
         &derived,

@@ -105,6 +105,7 @@ fn main() {
     emit(
         "fig7",
         "Figure 7: Instacart throughput by partitioning scheme (K txns/s)",
+        Backend::Simulated,
         &[
             "partitions",
             "hashing_ktps",

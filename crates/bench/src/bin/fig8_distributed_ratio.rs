@@ -8,6 +8,7 @@
 //! claim that minimizing distributed transactions is the wrong objective on
 //! fast networks.
 
+use chiller::prelude::Backend;
 use chiller_bench::{emit, ratio};
 use chiller_partition::chiller_part::distributed_ratio;
 use chiller_partition::{ChillerPartitioner, ContentionModel, SchismPartitioner};
@@ -43,6 +44,7 @@ fn main() {
     emit(
         "fig8",
         "Figure 8: ratio of distributed transactions by partitioning scheme",
+        Backend::Simulated,
         &["partitions", "hashing", "schism", "chiller"],
         &rows,
         &[(

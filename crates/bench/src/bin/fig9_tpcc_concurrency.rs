@@ -48,6 +48,7 @@ fn main() {
     emit(
         "fig9a",
         "Figure 9a: TPC-C throughput vs concurrent txns/warehouse (K txns/s)",
+        Backend::Simulated,
         &["concurrent", "2pl_ktps", "occ_ktps", "chiller_ktps"],
         &m.rows(|c| c.to_string(), &[&|r: &Point| ktps(r.0)]),
         &[
@@ -71,6 +72,7 @@ fn main() {
     emit(
         "fig9b",
         "Figure 9b: TPC-C total abort rate",
+        Backend::Simulated,
         &["concurrent", "2pl", "occ", "chiller"],
         &m.rows(|c| c.to_string(), &[&|r: &Point| ratio(r.1)]),
         &[],
@@ -88,6 +90,7 @@ fn main() {
     emit(
         "fig9c",
         "Figure 9c: 2PL abort rate by transaction type",
+        Backend::Simulated,
         &["concurrent", "new_order", "payment", "stock_level"],
         &rows,
         &[(

@@ -174,6 +174,7 @@ fn main() {
     emit(
         "adaptive",
         "Adaptive recovery: throughput before/after a mid-run hotspot shift (K txns/s)",
+        Backend::Simulated,
         &[
             "system",
             "pre_ktps",

@@ -3,6 +3,7 @@
 //! Chiller stores entries only for records above the contention-likelihood
 //! threshold. The paper reports Schism's table ≈10× larger.
 
+use chiller::prelude::Backend;
 use chiller_bench::emit;
 use chiller_partition::{ChillerPartitioner, ContentionModel, SchismPartitioner};
 use chiller_workload::instacart::{self, InstacartConfig};
@@ -31,6 +32,7 @@ fn main() {
     emit(
         "table_lookup_size",
         "Lookup-table size (entries): Schism vs Chiller (paper: ≈10x)",
+        Backend::Simulated,
         &[
             "partitions",
             "schism_entries",

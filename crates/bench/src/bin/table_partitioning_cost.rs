@@ -6,6 +6,7 @@
 //! (This one measures real host time, not virtual time — it benchmarks the
 //! partitioners themselves.)
 
+use chiller::prelude::Backend;
 use chiller_bench::emit;
 use chiller_partition::{ChillerPartitioner, ContentionModel, SchismPartitioner};
 use chiller_workload::instacart::{self, InstacartConfig};
@@ -38,6 +39,7 @@ fn main() {
     emit(
         "table_partitioning_cost",
         "Partitioning cost: graph build + partition (paper: Schism up to ≈5x slower)",
+        Backend::Simulated,
         &[
             "trace_txns",
             "chiller_edges",

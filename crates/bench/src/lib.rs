@@ -8,6 +8,7 @@
 //! to hand-roll lives in [`Matrix`].
 
 use chiller::experiment::sweep;
+use chiller::prelude::Backend;
 use std::fmt::Display;
 
 /// Print an aligned table: header row + data rows, also emitting a CSV
@@ -76,12 +77,15 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Render one experiment's results as a JSON document: name, title,
-/// header, rows (all cells as strings — they are already formatted), and a
-/// flat map of derived headline numbers.
+/// Render one experiment's results as a JSON document: name, title, the
+/// execution backend that produced the numbers (so BENCH_*.json from
+/// simulated and threaded runs are distinguishable), header, rows (all
+/// cells as strings — they are already formatted), and a flat map of
+/// derived headline numbers.
 pub fn emit_json(
     name: &str,
     title: &str,
+    backend: Backend,
     header: &[&str],
     rows: &[Vec<String>],
     derived: &[(&str, String)],
@@ -90,6 +94,10 @@ pub fn emit_json(
     s.push_str("{\n");
     s.push_str(&format!("  \"name\": \"{}\",\n", json_escape(name)));
     s.push_str(&format!("  \"title\": \"{}\",\n", json_escape(title)));
+    s.push_str(&format!(
+        "  \"backend\": \"{}\",\n",
+        json_escape(backend.label())
+    ));
     let hdr: Vec<String> = header
         .iter()
         .map(|h| format!("\"{}\"", json_escape(h)))
@@ -121,15 +129,18 @@ pub fn emit_json(
 
 /// Report one experiment: aligned table + CSV on stdout, and — when the
 /// `CHILLER_BENCH_JSON` environment variable is set — `BENCH_<name>.json`
-/// written to that directory (`.` for values like `1`/`true`).
+/// written to that directory (`.` for values like `1`/`true`). `backend`
+/// records which execution runtime produced the numbers.
 pub fn emit(
     name: &str,
     title: &str,
+    backend: Backend,
     header: &[&str],
     rows: &[Vec<String>],
     derived: &[(&str, String)],
 ) {
     print_table(title, header, rows);
+    println!("backend: {}", backend.label());
     for (k, v) in derived {
         println!("{k}: {v}");
     }
@@ -143,7 +154,7 @@ pub fn emit(
             dest
         };
         let path = format!("{dir}/BENCH_{name}.json");
-        let json = emit_json(name, title, header, rows, derived);
+        let json = emit_json(name, title, backend, header, rows, derived);
         match std::fs::write(&path, json) {
             Ok(()) => println!("wrote {path}"),
             Err(e) => eprintln!("failed to write {path}: {e}"),
@@ -258,11 +269,16 @@ mod tests {
         let json = emit_json(
             "demo",
             "a \"quoted\" title",
+            Backend::Threaded,
             &["x", "y"],
             &[vec!["1".to_string(), "2".to_string()]],
             &[("speedup", "1.5x".to_string())],
         );
         assert!(json.contains("\\\"quoted\\\""));
+        assert!(
+            json.contains("\"backend\": \"threaded\""),
+            "sim and threaded BENCH files must be distinguishable"
+        );
         assert!(json.contains("\"header\": [\"x\", \"y\"]"));
         assert!(json.contains("[\"1\", \"2\"]"));
         assert!(json.contains("\"speedup\": \"1.5x\""));

@@ -11,7 +11,7 @@ use chiller_common::error::{ChillerError, Result};
 use chiller_common::ids::{NodeId, PartitionId, RecordId};
 use chiller_common::time::{Duration, SimTime};
 use chiller_common::value::Row;
-use chiller_simnet::Simulation;
+use chiller_simnet::{Backend, Ctx, Runtime, Simulation, ThreadedRuntime};
 use chiller_sproc::Procedure;
 use chiller_storage::placement::{HashPlacement, Placement};
 use chiller_storage::schema::Schema;
@@ -22,7 +22,9 @@ use std::sync::Arc;
 use crate::report::RunReport;
 
 /// How long to run a workload: a warm-up window whose metrics are
-/// discarded, then a measured window.
+/// discarded, then a measured window. Durations are virtual nanoseconds
+/// on the simulated backend and wall-clock nanoseconds on the threaded
+/// backend.
 #[derive(Debug, Clone, Copy)]
 pub struct RunSpec {
     pub warmup: Duration,
@@ -72,6 +74,7 @@ pub struct ClusterBuilder {
     records: Vec<(RecordId, Row)>,
     source_factory: Option<SourceFactory>,
     adaptive: Option<AdaptiveConfig>,
+    backend: Backend,
 }
 
 impl ClusterBuilder {
@@ -88,7 +91,17 @@ impl ClusterBuilder {
             records: Vec::new(),
             source_factory: None,
             adaptive: None,
+            backend: Backend::Simulated,
         }
+    }
+
+    /// Select the execution backend: the deterministic simulator (default,
+    /// the correctness/parity oracle) or one OS thread per node (real
+    /// wall-clock throughput). Same engines, protocols and workloads
+    /// either way.
+    pub fn runtime(&mut self, b: Backend) -> &mut Self {
+        self.backend = b;
+        self
     }
 
     pub fn protocol(&mut self, p: Protocol) -> &mut Self {
@@ -271,10 +284,13 @@ impl ClusterBuilder {
                 monitor,
             }));
         }
-        Ok(Cluster {
-            sim: Simulation::new(actors, self.config.network.clone()),
-            adaptive,
-        })
+        let rt: Box<dyn Runtime<Msg, EngineActor>> = match self.backend {
+            Backend::Simulated => Box::new(Simulation::new(actors, self.config.network.clone())),
+            // The threaded backend has no modelled network: latency is
+            // whatever the host's channels and scheduler deliver.
+            Backend::Threaded => Box::new(ThreadedRuntime::new(actors)),
+        };
+        Ok(Cluster { rt, adaptive })
     }
 }
 
@@ -298,9 +314,10 @@ pub struct AdaptiveStats {
     pub demotions: u64,
 }
 
-/// A built cluster ready to run.
+/// A built cluster ready to run, driving either execution backend through
+/// the backend-neutral [`Runtime`] surface.
 pub struct Cluster {
-    sim: Simulation<Msg, EngineActor>,
+    rt: Box<dyn Runtime<Msg, EngineActor>>,
     adaptive: Option<AdaptiveState>,
 }
 
@@ -323,67 +340,80 @@ impl Cluster {
             }
             _ => None,
         };
-        let start = self.sim.now();
+        let start = self.rt.now();
         self.advance(start + spec.warmup);
         self.reset_metrics();
-        let measure_start = self.sim.now();
+        let measure_start = self.rt.now();
+        let wall_start = std::time::Instant::now();
         self.advance(measure_start + spec.measure);
-        let elapsed = self.sim.now() - measure_start;
+        let wall = wall_start.elapsed();
+        let elapsed = self.rt.now() - measure_start;
         if let (Some(state), Some(saved)) = (self.adaptive.as_mut(), saved_epoch) {
             state.cfg.epoch = saved;
         }
-        self.collect(elapsed)
+        self.collect(elapsed, wall)
     }
 
     /// Continue running without resetting metrics (incremental windows).
     /// The adaptation loop, when enabled, keeps running.
     pub fn run_more(&mut self, d: Duration) -> RunReport {
-        let start = self.sim.now();
+        let start = self.rt.now();
+        let wall_start = std::time::Instant::now();
         self.advance(start + d);
-        let elapsed = self.sim.now() - start;
-        self.collect(elapsed)
+        let wall = wall_start.elapsed();
+        let elapsed = self.rt.now() - start;
+        self.collect(elapsed, wall)
     }
 
     /// Clear accumulated engine metrics (used to delimit measurement
     /// phases, e.g. before and after a workload shift).
     pub fn reset_metrics(&mut self) {
-        for engine in self.sim.actors_mut() {
+        for engine in self.rt.actors_mut() {
             engine.reset_metrics();
         }
     }
 
-    fn collect(&self, elapsed: Duration) -> RunReport {
+    /// The execution backend driving this cluster.
+    pub fn backend(&self) -> Backend {
+        self.rt.backend()
+    }
+
+    fn collect(&self, elapsed: Duration, wall: std::time::Duration) -> RunReport {
         RunReport::collect(
+            self.rt.backend(),
             elapsed,
-            self.sim.stats(),
-            self.sim.actors().iter().map(EngineActor::report).collect(),
+            wall,
+            self.rt.stats(),
+            self.rt.actors().iter().map(EngineActor::report).collect(),
         )
     }
 
-    /// Advance virtual time to `until`, pausing at every epoch boundary to
-    /// run the adaptation control step.
+    /// Advance time to `until`, pausing at every epoch boundary to run the
+    /// adaptation control step. Works on either backend: the runtime pauses
+    /// at the boundary (exactly on the simulator, approximately on wall
+    /// clock) and hands the control plane exclusive actor access.
     fn advance(&mut self, until: SimTime) {
         if self.adaptive.is_none() {
-            self.sim.run_until(until);
+            self.rt.run_until(until);
             return;
         }
         loop {
             let next_epoch = {
                 let state = self.adaptive.as_mut().expect("checked above");
-                if state.next_epoch <= self.sim.now() {
-                    state.next_epoch = self.sim.now() + state.cfg.epoch;
+                if state.next_epoch <= self.rt.now() {
+                    state.next_epoch = self.rt.now() + state.cfg.epoch;
                 }
                 state.next_epoch
             };
             if next_epoch > until {
-                self.sim.run_until(until);
+                self.rt.run_until(until);
                 return;
             }
-            self.sim.run_until(next_epoch);
+            self.rt.run_until(next_epoch);
             self.control_step();
             let state = self.adaptive.as_mut().expect("checked above");
             state.next_epoch = next_epoch + state.cfg.epoch;
-            if next_epoch == until {
+            if next_epoch >= until {
                 return;
             }
         }
@@ -396,7 +426,7 @@ impl Cluster {
         let state = self.adaptive.as_mut().expect("adaptive control step");
         state.stats.epochs += 1;
         let summaries: Vec<chiller_adaptive::EpochSummary> = self
-            .sim
+            .rt
             .actors_mut()
             .iter_mut()
             .filter_map(EngineActor::take_epoch_summary)
@@ -404,7 +434,7 @@ impl Cluster {
         state.planner.absorb(&summaries);
 
         let in_flight: HashSet<RecordId> = self
-            .sim
+            .rt
             .actors()
             .iter()
             .flat_map(EngineActor::migrating_records)
@@ -431,12 +461,15 @@ impl Cluster {
         for mv in plan.moves {
             by_dst.entry(mv.to.0).or_default().push(mv);
         }
-        for (dst, moves) in by_dst {
-            self.sim.with_actor_ctx(NodeId(dst), |engine, ctx| {
-                for mv in moves {
-                    engine.begin_migration(ctx, mv);
-                }
-            });
+        for (dst, mut moves) in by_dst {
+            self.rt.with_actor_ctx(
+                NodeId(dst),
+                &mut |engine: &mut EngineActor, ctx: &mut Ctx<'_, Msg>| {
+                    for mv in moves.drain(..) {
+                        engine.begin_migration(ctx, mv);
+                    }
+                },
+            );
         }
     }
 
@@ -451,16 +484,16 @@ impl Cluster {
     }
 
     pub fn now(&self) -> SimTime {
-        self.sim.now()
+        self.rt.now()
     }
 
     /// Engine access for invariant checks in tests.
     pub fn engines(&self) -> &[EngineActor] {
-        self.sim.actors()
+        self.rt.actors()
     }
 
     pub fn num_nodes(&self) -> usize {
-        self.sim.num_nodes()
+        self.rt.num_nodes()
     }
 
     /// Number of `(record, row)` divergences between each primary
@@ -468,9 +501,9 @@ impl Cluster {
     /// Meaningful after [`Self::quiesce`].
     pub fn replica_divergence(&self) -> usize {
         let mut diverged = 0;
-        for primary in self.sim.actors() {
+        for primary in self.rt.actors() {
             let p = primary.store().partition;
-            for holder in self.sim.actors() {
+            for holder in self.rt.actors() {
                 let Some(replica) = holder.replica_store(p) else {
                     continue;
                 };
@@ -505,9 +538,9 @@ impl Cluster {
     /// quiescence, so every in-flight transaction (and migration) completes
     /// and all locks are released. Used before invariant checks.
     pub fn quiesce(&mut self) {
-        for engine in self.sim.actors_mut() {
+        for engine in self.rt.actors_mut() {
             engine.stop_accepting();
         }
-        self.sim.run_to_quiescence(u64::MAX);
+        self.rt.run_to_quiescence(u64::MAX);
     }
 }

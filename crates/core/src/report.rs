@@ -3,13 +3,21 @@
 use chiller_cc::engine::EngineReport;
 use chiller_common::metrics::MetricSet;
 use chiller_common::time::Duration;
-use chiller_simnet::NetStats;
+use chiller_simnet::{Backend, NetStats};
 
 /// Aggregated outcome of a measured window.
 #[derive(Debug, Clone)]
 pub struct RunReport {
-    /// Virtual time measured.
+    /// Which execution backend produced this report (drives how
+    /// `elapsed` should be read: virtual vs wall time).
+    pub backend: Backend,
+    /// Time measured: virtual nanoseconds on the simulated backend,
+    /// wall-clock nanoseconds on the threaded backend.
     pub elapsed: Duration,
+    /// Host wall-clock time the measured window took. On the threaded
+    /// backend this tracks `elapsed`; on the simulator it is the host
+    /// time spent computing the virtual window.
+    pub wall_elapsed: std::time::Duration,
     /// Merged metrics across engines.
     pub metrics: MetricSet,
     /// Network counters for the whole run (including warm-up).
@@ -20,7 +28,9 @@ pub struct RunReport {
 
 impl RunReport {
     pub(crate) fn collect(
+        backend: Backend,
         elapsed: Duration,
+        wall_elapsed: std::time::Duration,
         net: NetStats,
         per_node: Vec<EngineReport>,
     ) -> RunReport {
@@ -29,7 +39,9 @@ impl RunReport {
             metrics.merge(&r.metrics);
         }
         RunReport {
+            backend,
             elapsed,
+            wall_elapsed,
             metrics,
             net,
             per_node,
@@ -44,9 +56,22 @@ impl RunReport {
         self.metrics.total_aborts()
     }
 
-    /// Committed transactions per second of virtual time.
+    /// Committed transactions per second of measured time (virtual on the
+    /// simulator, wall on the threaded backend).
     pub fn throughput(&self) -> f64 {
         let secs = self.elapsed.as_nanos() as f64 / 1e9;
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.total_commits() as f64 / secs
+        }
+    }
+
+    /// Committed transactions per second of *host wall-clock* time — what
+    /// the machine actually sustained. On the threaded backend this is the
+    /// headline number; on the simulator it only measures simulation speed.
+    pub fn wall_throughput(&self) -> f64 {
+        let secs = self.wall_elapsed.as_secs_f64();
         if secs == 0.0 {
             0.0
         } else {

@@ -1,29 +1,28 @@
 //! # chiller-simnet
 //!
-//! Deterministic discrete-event simulation of a NAM-DB-style RDMA cluster
-//! (§6 of the Chiller paper). This is the substrate substitution for the
-//! paper's 8-machine InfiniBand testbed: it models exactly the properties
-//! the evaluation depends on and nothing more —
+//! The execution substrate of the reproduction: a backend-neutral actor
+//! runtime with two interchangeable backends.
 //!
-//! * **Latency classes**: one-sided RDMA verbs (READ/WRITE/CAS) vs two-sided
-//!   RPCs vs local memory accesses, with configurable one-way latencies.
-//! * **NIC bypass**: one-sided verbs are serviced on arrival regardless of
-//!   how busy the destination's CPU is (the defining property of one-sided
-//!   RDMA); RPCs queue behind the single-threaded execution engine and charge
-//!   CPU when handled.
-//! * **Per-link FIFO**: messages between a given (src, dst) pair arrive in
-//!   send order, mirroring RDMA's queue-pair in-order delivery — the
-//!   assumption Chiller's inner-region replication protocol (§5) relies on.
-//! * **Engine CPU model**: each node owns one engine core with a
-//!   `busy_until` horizon; handlers charge virtual CPU with
-//!   [`Ctx::use_cpu`], producing the CPU-bound saturation visible in the
-//!   paper's Figure 9a.
-//! * **Determinism**: FIFO tie-breaking by sequence number makes reruns
-//!   bit-identical.
+//! * [`Simulation`] — deterministic discrete-event simulation of a
+//!   NAM-DB-style RDMA cluster (§6 of the Chiller paper). This is the
+//!   substrate substitution for the paper's 8-machine InfiniBand testbed:
+//!   it models exactly the properties the evaluation depends on — latency
+//!   classes (one-sided verbs vs RPCs vs local), NIC bypass, per-link
+//!   FIFO, an engine CPU model — and makes reruns bit-identical, so it
+//!   serves as the correctness and paper-parity **oracle**.
+//! * [`ThreadedRuntime`] — one OS thread per node with bounded mpsc
+//!   mailboxes and a monotonic wall clock. No modelled latencies: it
+//!   measures what the machine actually sustains, so it serves as the
+//!   hardware **benchmark** path.
 //!
-//! The transaction engines in `chiller-cc` are [`Actor`]s plugged into a
-//! [`Simulation`].
+//! Both implement the [`Runtime`] trait over the same [`Actor`] surface;
+//! the transaction engines in `chiller-cc` are [`Actor`]s plugged into
+//! either backend unchanged. See [`runtime`] for the trait contracts.
 
+pub mod runtime;
 pub mod sim;
+pub mod threaded;
 
-pub use sim::{Actor, Ctx, NetStats, Simulation, Verb};
+pub use runtime::{Actor, Backend, Clock, Ctx, Mailbox, NetStats, Runtime, Verb};
+pub use sim::Simulation;
+pub use threaded::{ThreadedRuntime, DEFAULT_MAILBOX_CAPACITY};

@@ -1,0 +1,253 @@
+//! Backend-neutral execution runtime: the actor-facing surface shared by
+//! the deterministic simulator and the real multi-threaded backend.
+//!
+//! The transaction engines in `chiller-cc` are written against exactly
+//! three things defined here —
+//!
+//! * [`Actor`]: the event-handler trait (start / message / timer);
+//! * [`Ctx`]: the handle an actor uses to read the clock, send messages,
+//!   set timers and charge CPU. It is a thin wrapper over a
+//!   [`Mailbox`] trait object, so actor code compiles once and runs on
+//!   any backend;
+//! * [`Runtime`]: the driver loop owning the actors. The deterministic
+//!   [`Simulation`](crate::Simulation) interprets time as virtual
+//!   nanoseconds and replays bit-identically per seed; the
+//!   [`ThreadedRuntime`](crate::ThreadedRuntime) runs each actor on its
+//!   own OS thread against a monotonic wall clock.
+//!
+//! The split gives the repo a *sim-as-oracle, threads-as-benchmark*
+//! architecture: protocol correctness and paper parity are checked on the
+//! simulator, hardware throughput is measured on the threads — same
+//! engines, same messages, same workloads.
+
+use chiller_common::ids::NodeId;
+use chiller_common::time::{Duration, SimTime};
+
+/// Message class, determining latency and delivery semantics.
+///
+/// The simulator models the two classes faithfully (NIC bypass, engine
+/// queueing, CPU charges); the threaded backend delivers both through the
+/// same mailbox and only keeps the classification for stats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verb {
+    /// One-sided RDMA verb (READ / WRITE / atomic CAS-style lock word
+    /// manipulation). Serviced by the destination *NIC*: delivered the
+    /// moment it arrives, never queued behind the destination engine, and
+    /// handlers for it must not charge CPU.
+    OneSided,
+    /// Two-sided RPC (send/recv). Queued until the destination engine core
+    /// is free; handling charges `rpc_handler_cpu_ns` plus whatever the
+    /// actor itself charges.
+    Rpc,
+}
+
+/// Counters describing network usage of a run; exposed so experiments can
+/// report message overhead alongside throughput. The threaded backend
+/// keeps one per worker thread and merges them on read.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NetStats {
+    pub one_sided_msgs: u64,
+    pub rpc_msgs: u64,
+    pub local_msgs: u64,
+    pub timer_fires: u64,
+    pub events_processed: u64,
+}
+
+impl NetStats {
+    /// Fold another thread's (or node's) counters into this one.
+    pub fn merge(&mut self, other: &NetStats) {
+        self.one_sided_msgs += other.one_sided_msgs;
+        self.rpc_msgs += other.rpc_msgs;
+        self.local_msgs += other.local_msgs;
+        self.timer_fires += other.timer_fires;
+        self.events_processed += other.events_processed;
+    }
+}
+
+/// Which execution backend drives a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// Deterministic discrete-event simulation: virtual time, modelled
+    /// network/CPU costs, bit-identical replays per seed. The correctness
+    /// and paper-parity oracle.
+    #[default]
+    Simulated,
+    /// One OS thread per node, bounded mpsc mailboxes, monotonic wall
+    /// clock. Reports what the machine actually sustains; not
+    /// deterministic.
+    Threaded,
+}
+
+impl Backend {
+    /// Stable label used in reports and BENCH_*.json files.
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Simulated => "simulated",
+            Backend::Threaded => "threaded",
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A source of "now". Virtual nanoseconds on the simulator; monotonic
+/// wall-clock nanoseconds since runtime creation on the threaded backend.
+pub trait Clock {
+    fn now(&self) -> SimTime;
+}
+
+/// The per-actor runtime surface behind [`Ctx`] — one implementation per
+/// backend. Actor code never sees this trait directly; it goes through
+/// [`Ctx`], which keeps call sites monomorphic and lets handlers stay
+/// object-safe.
+pub trait Mailbox<M> {
+    /// Current time (see [`Clock`] for the per-backend meaning).
+    fn now(&self) -> SimTime;
+
+    /// The node whose actor is currently running.
+    fn node(&self) -> NodeId;
+
+    /// Send a message to `dst` with the given verb class. Both backends
+    /// guarantee per-link FIFO: messages between a given (src, dst) pair
+    /// arrive in send order (RDMA queue-pair in-order delivery — the
+    /// assumption Chiller's inner-region replication protocol relies on).
+    fn send(&mut self, dst: NodeId, verb: Verb, msg: M);
+
+    /// Schedule `on_timer(token)` on this node after `d`.
+    fn set_timer(&mut self, d: Duration, token: u64);
+
+    /// Schedule a timer relative to when the engine becomes free, rather
+    /// than now — used for "process next input when you have capacity".
+    /// On the threaded backend the engine is free whenever it is not
+    /// executing, so this degrades to [`Mailbox::set_timer`].
+    fn set_timer_when_free(&mut self, d: Duration, token: u64);
+
+    /// Charge `d` of CPU time on this node's engine core. The simulator
+    /// delays subsequent sends and queues arriving RPCs behind the charge;
+    /// the threaded backend ignores it — real CPU is consumed by actually
+    /// executing the handler.
+    fn use_cpu(&mut self, d: Duration);
+}
+
+/// Handle given to actors during event handling. Lets the actor read the
+/// clock, send messages, charge CPU, and set timers — on any backend.
+pub struct Ctx<'a, M> {
+    mailbox: &'a mut dyn Mailbox<M>,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// Wrap a backend's mailbox. Backends call this; actors never do.
+    pub fn from_mailbox(mailbox: &'a mut dyn Mailbox<M>) -> Self {
+        Ctx { mailbox }
+    }
+
+    /// Current time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.mailbox.now()
+    }
+
+    /// The node this actor instance runs on.
+    #[inline]
+    pub fn node(&self) -> NodeId {
+        self.mailbox.node()
+    }
+
+    /// Charge `d` of CPU time on this node's engine core (see
+    /// [`Mailbox::use_cpu`]).
+    #[inline]
+    pub fn use_cpu(&mut self, d: Duration) {
+        self.mailbox.use_cpu(d);
+    }
+
+    /// Send a message to `dst` with the given verb class. Delivery respects
+    /// per-link FIFO ordering and the backend's latency/queueing semantics.
+    #[inline]
+    pub fn send(&mut self, dst: NodeId, verb: Verb, msg: M) {
+        self.mailbox.send(dst, verb, msg);
+    }
+
+    /// Schedule `on_timer(token)` on this node after `d`.
+    #[inline]
+    pub fn set_timer(&mut self, d: Duration, token: u64) {
+        self.mailbox.set_timer(d, token);
+    }
+
+    /// Schedule a timer relative to when the engine becomes free (see
+    /// [`Mailbox::set_timer_when_free`]).
+    #[inline]
+    pub fn set_timer_when_free(&mut self, d: Duration, token: u64) {
+        self.mailbox.set_timer_when_free(d, token);
+    }
+}
+
+/// A simulated machine: one partition's storage plus its execution engine.
+///
+/// `M` is the protocol message type, defined by the concurrency-control
+/// layer. Handlers must be deterministic functions of their inputs plus any
+/// actor-owned seeded RNG state (the simulator turns that determinism into
+/// bit-identical replays; the threaded backend interleaves handlers in
+/// wall-clock order).
+pub trait Actor<M> {
+    /// Called once at runtime start so engines can kick off their initial
+    /// transactions.
+    fn on_start(&mut self, ctx: &mut Ctx<'_, M>);
+
+    /// A message arrived. For `Verb::OneSided` the handler models NIC
+    /// processing and must not call `use_cpu`; for `Verb::Rpc` the simulator
+    /// has already charged the configured handler cost and the actor may
+    /// charge more.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, M>, src: NodeId, verb: Verb, msg: M);
+
+    /// A timer set via [`Ctx::set_timer`] fired.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, M>, token: u64);
+}
+
+/// A cluster execution backend: owns the actors, delivers messages and
+/// timers, and reports merged network counters.
+///
+/// Object-safe by design — the cluster layer holds a
+/// `Box<dyn Runtime<Msg, EngineActor>>` and drives either backend through
+/// the same warm-up / measure / quiesce protocol. Between `run_*` calls
+/// the runtime is paused: [`Runtime::actors`], [`Runtime::actors_mut`] and
+/// [`Runtime::with_actor_ctx`] give the control plane (metric resets,
+/// epoch scheduling, invariant checks) exclusive access to actor state on
+/// both backends.
+pub trait Runtime<M, A: Actor<M>>: Clock {
+    /// Which backend this is (drives report labelling).
+    fn backend(&self) -> Backend;
+
+    /// Merged network counters across all nodes/threads.
+    fn stats(&self) -> NetStats;
+
+    fn num_nodes(&self) -> usize;
+
+    /// The actors, in node order. Valid while the runtime is paused.
+    fn actors(&self) -> &[A];
+
+    /// Mutable actor access, in node order. Valid while paused.
+    fn actors_mut(&mut self) -> &mut [A];
+
+    /// Advance until `now()` passes `until` (virtual time for the
+    /// simulator; wall-clock offset since runtime start for the threaded
+    /// backend), then pause. In-flight messages and timers survive the
+    /// pause. Returns the number of events processed.
+    fn run_until(&mut self, until: SimTime) -> u64;
+
+    /// Run until no work remains anywhere: no queued messages, no armed
+    /// timers, no handler mid-flight. `max_events` bounds runaway loops.
+    /// Returns the number of events processed.
+    fn run_to_quiescence(&mut self, max_events: u64) -> u64;
+
+    /// Run `f` against one actor with a live [`Ctx`], outside normal event
+    /// dispatch. This is the control-plane injection point: an epoch
+    /// scheduler pauses the runtime at a boundary, inspects/mutates
+    /// actors, and lets them send messages or set timers. On the simulator
+    /// determinism is preserved as long as callers inject at deterministic
+    /// times in a deterministic node order.
+    fn with_actor_ctx(&mut self, node: NodeId, f: &mut dyn FnMut(&mut A, &mut Ctx<'_, M>));
+}

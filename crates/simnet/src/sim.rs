@@ -1,24 +1,13 @@
-//! The event loop, actor trait, and network/CPU model.
+//! The deterministic discrete-event backend: event loop and network/CPU
+//! model. Implements the backend-neutral [`Runtime`] surface from
+//! [`crate::runtime`]; the actor trait and `Ctx` handle live there.
 
+use crate::runtime::{Actor, Backend, Clock, Ctx, Mailbox, NetStats, Runtime, Verb};
 use chiller_common::config::NetworkConfig;
 use chiller_common::ids::NodeId;
 use chiller_common::time::{Duration, SimTime};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
-
-/// Message class, determining latency and delivery semantics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Verb {
-    /// One-sided RDMA verb (READ / WRITE / atomic CAS-style lock word
-    /// manipulation). Serviced by the destination *NIC*: delivered the
-    /// moment it arrives, never queued behind the destination engine, and
-    /// handlers for it must not charge CPU.
-    OneSided,
-    /// Two-sided RPC (send/recv). Queued until the destination engine core
-    /// is free; handling charges `rpc_handler_cpu_ns` plus whatever the
-    /// actor itself charges.
-    Rpc,
-}
 
 /// What gets scheduled in the event queue.
 enum EventKind<M> {
@@ -56,17 +45,6 @@ impl<M> Ord for Event<M> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.at, self.seq).cmp(&(other.at, other.seq))
     }
-}
-
-/// Counters describing network usage of a run; exposed so experiments can
-/// report message overhead alongside throughput.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct NetStats {
-    pub one_sided_msgs: u64,
-    pub rpc_msgs: u64,
-    pub local_msgs: u64,
-    pub timer_fires: u64,
-    pub events_processed: u64,
 }
 
 /// Core simulator state shared with actors through [`Ctx`].
@@ -108,44 +86,39 @@ impl<M> SimCore<M> {
     }
 }
 
-/// Handle given to actors during event handling. Lets the actor read the
-/// virtual clock, send messages, charge CPU, and set timers.
-pub struct Ctx<'a, M> {
+/// The simulator's [`Mailbox`]: virtual clock, modelled latencies, engine
+/// busy horizon, per-link FIFO.
+struct SimMailbox<'a, M> {
     core: &'a mut SimCore<M>,
     /// The node whose actor is currently running.
     node: NodeId,
 }
 
-impl<'a, M> Ctx<'a, M> {
-    /// Current virtual time.
-    #[inline]
-    pub fn now(&self) -> SimTime {
-        self.core.clock
-    }
-
-    /// The node this actor instance runs on.
-    #[inline]
-    pub fn node(&self) -> NodeId {
-        self.node
-    }
-
-    /// Charge `d` of CPU time on this node's engine core. Subsequent sends
-    /// from this handler depart after the charged CPU completes, and RPCs
-    /// arriving in the meantime queue up.
-    pub fn use_cpu(&mut self, d: Duration) {
-        let b = self.core.busy_until[self.node.idx()].max(self.core.clock);
-        self.core.busy_until[self.node.idx()] = b + d;
-    }
-
+impl<M> SimMailbox<'_, M> {
     /// Time at which work issued *now* by this engine actually departs:
     /// the engine finishes its queued CPU first.
     fn departure_time(&self) -> SimTime {
         self.core.busy_until[self.node.idx()].max(self.core.clock)
     }
+}
 
-    /// Send a message to `dst` with the given verb class. Delivery respects
-    /// per-link FIFO ordering and the verb's latency/queueing semantics.
-    pub fn send(&mut self, dst: NodeId, verb: Verb, msg: M) {
+impl<M> Mailbox<M> for SimMailbox<'_, M> {
+    #[inline]
+    fn now(&self) -> SimTime {
+        self.core.clock
+    }
+
+    #[inline]
+    fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn use_cpu(&mut self, d: Duration) {
+        let b = self.core.busy_until[self.node.idx()].max(self.core.clock);
+        self.core.busy_until[self.node.idx()] = b + d;
+    }
+
+    fn send(&mut self, dst: NodeId, verb: Verb, msg: M) {
         let src = self.node;
         let depart = self.departure_time();
         let lat = self.core.one_way_latency(src, dst, verb);
@@ -177,8 +150,7 @@ impl<'a, M> Ctx<'a, M> {
         );
     }
 
-    /// Schedule `on_timer(token)` on this node after `d`.
-    pub fn set_timer(&mut self, d: Duration, token: u64) {
+    fn set_timer(&mut self, d: Duration, token: u64) {
         let at = self.core.clock + d;
         self.core.push(
             at,
@@ -189,9 +161,7 @@ impl<'a, M> Ctx<'a, M> {
         );
     }
 
-    /// Schedule a timer relative to when the engine becomes free, rather
-    /// than now — used for "process next input when you have capacity".
-    pub fn set_timer_when_free(&mut self, d: Duration, token: u64) {
+    fn set_timer_when_free(&mut self, d: Duration, token: u64) {
         let at = self.departure_time() + d;
         self.core.push(
             at,
@@ -201,26 +171,6 @@ impl<'a, M> Ctx<'a, M> {
             },
         );
     }
-}
-
-/// A simulated machine: one partition's storage plus its execution engine.
-///
-/// `M` is the protocol message type, defined by the concurrency-control
-/// layer. Handlers must be deterministic functions of their inputs plus any
-/// actor-owned seeded RNG state.
-pub trait Actor<M> {
-    /// Called once at simulation start (time 0) so engines can kick off
-    /// their initial transactions.
-    fn on_start(&mut self, ctx: &mut Ctx<'_, M>);
-
-    /// A message arrived. For `Verb::OneSided` the handler models NIC
-    /// processing and must not call `use_cpu`; for `Verb::Rpc` the simulator
-    /// has already charged the configured handler cost and the actor may
-    /// charge more.
-    fn on_message(&mut self, ctx: &mut Ctx<'_, M>, src: NodeId, verb: Verb, msg: M);
-
-    /// A timer set via [`Ctx::set_timer`] fired.
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, M>, token: u64);
 }
 
 /// The simulation: a set of actors (one per node) plus the event core.
@@ -278,10 +228,11 @@ impl<M, A: Actor<M>> Simulation<M, A> {
         self.started = true;
         for i in 0..self.actors.len() {
             let node = NodeId(i as u32);
-            let mut ctx = Ctx {
+            let mut mb = SimMailbox {
                 core: &mut self.core,
                 node,
             };
+            let mut ctx = Ctx::from_mailbox(&mut mb);
             self.actors[i].on_start(&mut ctx);
         }
     }
@@ -290,11 +241,12 @@ impl<M, A: Actor<M>> Simulation<M, A> {
     /// cost, then runs the actor handler.
     fn dispatch_rpc(&mut self, src: NodeId, dst: NodeId, msg: M) {
         let cpu = Duration::from_nanos(self.core.network.rpc_handler_cpu_ns);
-        let mut ctx = Ctx {
+        let mut mb = SimMailbox {
             core: &mut self.core,
             node: dst,
         };
-        ctx.use_cpu(cpu);
+        mb.use_cpu(cpu);
+        let mut ctx = Ctx::from_mailbox(&mut mb);
         self.actors[dst.idx()].on_message(&mut ctx, src, Verb::Rpc, msg);
     }
 
@@ -337,10 +289,11 @@ impl<M, A: Actor<M>> Simulation<M, A> {
             } => match verb {
                 Verb::OneSided => {
                     // NIC-side: bypasses the engine queue entirely.
-                    let mut ctx = Ctx {
+                    let mut mb = SimMailbox {
                         core: &mut self.core,
                         node: dst,
                     };
+                    let mut ctx = Ctx::from_mailbox(&mut mb);
                     self.actors[dst.idx()].on_message(&mut ctx, src, Verb::OneSided, msg);
                 }
                 Verb::Rpc => {
@@ -350,10 +303,11 @@ impl<M, A: Actor<M>> Simulation<M, A> {
             },
             EventKind::Timer { node, token } => {
                 self.core.stats.timer_fires += 1;
-                let mut ctx = Ctx {
+                let mut mb = SimMailbox {
                     core: &mut self.core,
                     node,
                 };
+                let mut ctx = Ctx::from_mailbox(&mut mb);
                 self.actors[node.idx()].on_timer(&mut ctx, token);
             }
             EventKind::Wake { node } => {
@@ -406,11 +360,52 @@ impl<M, A: Actor<M>> Simulation<M, A> {
         node: NodeId,
         f: impl FnOnce(&mut A, &mut Ctx<'_, M>) -> R,
     ) -> R {
-        let mut ctx = Ctx {
+        let mut mb = SimMailbox {
             core: &mut self.core,
             node,
         };
+        let mut ctx = Ctx::from_mailbox(&mut mb);
         f(&mut self.actors[node.idx()], &mut ctx)
+    }
+}
+
+impl<M, A: Actor<M>> Clock for Simulation<M, A> {
+    fn now(&self) -> SimTime {
+        self.core.clock
+    }
+}
+
+impl<M, A: Actor<M>> Runtime<M, A> for Simulation<M, A> {
+    fn backend(&self) -> Backend {
+        Backend::Simulated
+    }
+
+    fn stats(&self) -> NetStats {
+        Simulation::stats(self)
+    }
+
+    fn num_nodes(&self) -> usize {
+        Simulation::num_nodes(self)
+    }
+
+    fn actors(&self) -> &[A] {
+        Simulation::actors(self)
+    }
+
+    fn actors_mut(&mut self) -> &mut [A] {
+        Simulation::actors_mut(self)
+    }
+
+    fn run_until(&mut self, until: SimTime) -> u64 {
+        Simulation::run_until(self, until)
+    }
+
+    fn run_to_quiescence(&mut self, max_events: u64) -> u64 {
+        Simulation::run_to_quiescence(self, max_events)
+    }
+
+    fn with_actor_ctx(&mut self, node: NodeId, f: &mut dyn FnMut(&mut A, &mut Ctx<'_, M>)) {
+        Simulation::with_actor_ctx(self, node, f)
     }
 }
 
@@ -655,5 +650,28 @@ mod tests {
         assert_eq!(st.one_sided_msgs, 1);
         assert_eq!(st.rpc_msgs, 1);
         assert_eq!(st.local_msgs, 1);
+    }
+
+    #[test]
+    fn simulation_works_through_the_runtime_trait_object() {
+        // The cluster layer drives the simulator through
+        // `Box<dyn Runtime>`; the trait path must behave exactly like the
+        // inherent one.
+        let mut a = Recorder::default();
+        a.plan.push((NodeId(1), Verb::OneSided, 7, 0));
+        let sim = Simulation::new(vec![a, Recorder::default()], net());
+        let mut rt: Box<dyn Runtime<u64, Recorder>> = Box::new(sim);
+        assert_eq!(rt.backend(), Backend::Simulated);
+        rt.run_to_quiescence(100);
+        assert_eq!(
+            rt.actors()[1].received,
+            vec![(SimTime(1_000), NodeId(0), 7)]
+        );
+        rt.with_actor_ctx(NodeId(1), &mut |_actor, ctx| {
+            ctx.send(NodeId(0), Verb::OneSided, 9);
+        });
+        rt.run_to_quiescence(100);
+        assert_eq!(rt.actors()[0].received.last().unwrap().2, 9);
+        assert_eq!(rt.stats().one_sided_msgs, 2);
     }
 }

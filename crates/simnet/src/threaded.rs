@@ -1,0 +1,633 @@
+//! The real multi-threaded backend: one OS thread per node, bounded mpsc
+//! mailboxes, a monotonic wall clock.
+//!
+//! Where the simulator *models* a cluster (virtual latencies, CPU
+//! charges), this backend *is* one — each [`Actor`] runs on its own
+//! thread and the reported throughput is what the host machine actually
+//! sustains. The same engines, messages and workloads run unmodified;
+//! only the [`Mailbox`] behind [`Ctx`] differs:
+//!
+//! * **Clock** — monotonic wall-clock nanoseconds since runtime creation
+//!   (the `SimTime` values actors see are real elapsed time).
+//! * **Send** — bounded `sync_channel` per node. Sends never block: when
+//!   a destination mailbox is full the message parks in a per-destination
+//!   deferred queue and is flushed before the sender next sleeps, so
+//!   cyclic protocols (engine A mid-handler sending to B while B sends to
+//!   A) cannot deadlock. Per-link FIFO is preserved — mpsc guarantees
+//!   per-sender order and the deferred queue refuses to let later
+//!   messages overtake parked ones.
+//! * **Timers** — a per-thread min-heap; the worker sleeps with
+//!   `recv_timeout` until the next due timer (or an incoming message).
+//! * **`use_cpu`** — a no-op: real CPU is consumed by actually executing
+//!   the handler.
+//!
+//! ## Run phases and quiescence
+//!
+//! Worker threads only exist inside [`ThreadedRuntime::run_until`] /
+//! [`ThreadedRuntime::run_to_quiescence`] (scoped threads). Between
+//! phases the main thread has exclusive access to the actors —
+//! [`Runtime::actors_mut`] and [`Runtime::with_actor_ctx`] work exactly
+//! as on the simulator, which is what lets the cluster layer reset
+//! metrics at the warm-up boundary, drive the adaptive epoch scheduler,
+//! and check invariants after a drain. In-flight messages, deferred
+//! sends and armed timers survive a pause and resume with the next phase.
+//!
+//! Quiescence is detected with a global outstanding-work counter:
+//! incremented for every queued message and armed timer, decremented
+//! only *after* the receiving handler returns (so work spawned by a
+//! handler keeps the count positive). Zero therefore means no queued
+//! message, no armed timer, and no handler mid-flight anywhere — workers
+//! observe it and exit.
+
+use crate::runtime::{Actor, Backend, Clock, Ctx, Mailbox, NetStats, Runtime, Verb};
+use chiller_common::ids::NodeId;
+use chiller_common::time::{Duration, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::time::Instant;
+
+/// Default bound of each node's mailbox (messages, not bytes).
+pub const DEFAULT_MAILBOX_CAPACITY: usize = 1024;
+
+/// Longest a worker sleeps before re-checking the deadline and the
+/// quiescence counter (pause responsiveness, not correctness).
+const MAX_PARK_NS: u64 = 200_000;
+
+/// A message in flight between two nodes.
+struct Envelope<M> {
+    src: NodeId,
+    verb: Verb,
+    msg: M,
+}
+
+/// Coordination state shared by all worker threads during a phase.
+struct Shared {
+    /// Origin of the monotonic wall clock.
+    start: Instant,
+    /// Queued messages + armed timers + handlers mid-flight, cluster-wide.
+    outstanding: AtomicI64,
+    /// Wall-clock deadline (ns since `start`) of the current phase.
+    deadline_ns: AtomicU64,
+    /// Runaway guard for `run_to_quiescence`: stop once
+    /// `events_processed` passes this.
+    event_limit: AtomicU64,
+    /// Total events processed across all threads (guard bookkeeping).
+    events: AtomicU64,
+}
+
+impl Shared {
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+}
+
+/// Per-node state that persists across run phases; mutably borrowed by
+/// that node's worker thread while a phase runs.
+struct NodeState<M> {
+    node: NodeId,
+    rx: Receiver<Envelope<M>>,
+    /// Senders to every node's mailbox (index = destination node).
+    txs: Vec<SyncSender<Envelope<M>>>,
+    /// Armed timers: min-heap of (due_ns, seq, token); seq keeps FIFO
+    /// order among timers due at the same instant.
+    timers: BinaryHeap<Reverse<(u64, u64, u64)>>,
+    timer_seq: u64,
+    /// Sends parked because the destination mailbox was full, per
+    /// destination. Later sends to the same destination queue behind the
+    /// parked ones to preserve per-link FIFO.
+    deferred: BTreeMap<NodeId, VecDeque<Envelope<M>>>,
+    stats: NetStats,
+}
+
+impl<M> NodeState<M> {
+    /// Queue `env` for `dst`, preserving per-link FIFO and never blocking.
+    fn enqueue(&mut self, dst: NodeId, env: Envelope<M>) {
+        let parked = self.deferred.entry(dst).or_default();
+        if parked.is_empty() {
+            // Receivers live as long as the runtime; a disconnect can only
+            // mean teardown, where dropping the message is harmless.
+            if let Err(TrySendError::Full(env)) = self.txs[dst.idx()].try_send(env) {
+                parked.push_back(env);
+            }
+        } else {
+            parked.push_back(env);
+        }
+    }
+
+    /// Retry parked sends (in node order per destination, FIFO within).
+    fn flush_deferred(&mut self) {
+        for (dst, parked) in self.deferred.iter_mut() {
+            while let Some(env) = parked.pop_front() {
+                match self.txs[dst.idx()].try_send(env) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(env)) => {
+                        parked.push_front(env);
+                        break;
+                    }
+                    Err(TrySendError::Disconnected(_)) => break,
+                }
+            }
+        }
+        self.deferred.retain(|_, q| !q.is_empty());
+    }
+
+    fn next_timer_due(&self) -> Option<u64> {
+        self.timers.peek().map(|Reverse((due, _, _))| *due)
+    }
+}
+
+/// The threaded backend's [`Mailbox`]. Also used by the main thread for
+/// control-plane injection between phases.
+struct ThreadMailbox<'a, M> {
+    st: &'a mut NodeState<M>,
+    shared: &'a Shared,
+}
+
+impl<M> Mailbox<M> for ThreadMailbox<'_, M> {
+    #[inline]
+    fn now(&self) -> SimTime {
+        SimTime(self.shared.now_ns())
+    }
+
+    #[inline]
+    fn node(&self) -> NodeId {
+        self.st.node
+    }
+
+    fn send(&mut self, dst: NodeId, verb: Verb, msg: M) {
+        let src = self.st.node;
+        if src == dst {
+            self.st.stats.local_msgs += 1;
+        } else {
+            match verb {
+                Verb::OneSided => self.st.stats.one_sided_msgs += 1,
+                Verb::Rpc => self.st.stats.rpc_msgs += 1,
+            }
+        }
+        self.shared.outstanding.fetch_add(1, Ordering::SeqCst);
+        self.st.enqueue(dst, Envelope { src, verb, msg });
+    }
+
+    fn set_timer(&mut self, d: Duration, token: u64) {
+        self.shared.outstanding.fetch_add(1, Ordering::SeqCst);
+        self.st.timer_seq += 1;
+        let due = self.shared.now_ns().saturating_add(d.as_nanos());
+        self.st
+            .timers
+            .push(Reverse((due, self.st.timer_seq, token)));
+    }
+
+    fn set_timer_when_free(&mut self, d: Duration, token: u64) {
+        // No busy horizon on real threads: the engine is free whenever it
+        // is not executing.
+        self.set_timer(d, token);
+    }
+
+    fn use_cpu(&mut self, _d: Duration) {
+        // Real CPU is consumed by actually executing the handler.
+    }
+}
+
+/// One OS thread per actor, scoped to each run phase. See the module docs
+/// for the execution model.
+pub struct ThreadedRuntime<M, A> {
+    actors: Vec<A>,
+    states: Vec<NodeState<M>>,
+    shared: Shared,
+    started: bool,
+}
+
+impl<M: Send, A: Actor<M> + Send> ThreadedRuntime<M, A> {
+    /// Build a threaded runtime over the given actors; actor `i` runs on
+    /// `NodeId(i)` with a mailbox bounded at [`DEFAULT_MAILBOX_CAPACITY`].
+    pub fn new(actors: Vec<A>) -> Self {
+        Self::with_mailbox_capacity(actors, DEFAULT_MAILBOX_CAPACITY)
+    }
+
+    /// Build with an explicit per-node mailbox bound.
+    pub fn with_mailbox_capacity(actors: Vec<A>, capacity: usize) -> Self {
+        assert!(capacity >= 1, "mailboxes must hold at least one message");
+        let n = actors.len();
+        let mut txs = Vec::with_capacity(n);
+        let mut rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = sync_channel(capacity);
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let states = rxs
+            .into_iter()
+            .enumerate()
+            .map(|(i, rx)| NodeState {
+                node: NodeId(i as u32),
+                rx,
+                txs: txs.clone(),
+                timers: BinaryHeap::new(),
+                timer_seq: 0,
+                deferred: BTreeMap::new(),
+                stats: NetStats::default(),
+            })
+            .collect();
+        ThreadedRuntime {
+            actors,
+            states,
+            shared: Shared {
+                start: Instant::now(),
+                outstanding: AtomicI64::new(0),
+                deadline_ns: AtomicU64::new(0),
+                event_limit: AtomicU64::new(u64::MAX),
+                events: AtomicU64::new(0),
+            },
+            started: false,
+        }
+    }
+
+    /// Run one phase: spawn a scoped worker per node, join when every
+    /// worker has hit the deadline, observed quiescence, or tripped the
+    /// event limit. Returns events processed during the phase.
+    fn run_phase(&mut self, deadline_ns: u64, max_events: u64) -> u64 {
+        let first = !self.started;
+        if first {
+            self.started = true;
+            // Startup hold: no worker may observe "quiescent" before every
+            // actor's on_start has armed its initial work.
+            self.shared
+                .outstanding
+                .fetch_add(self.actors.len() as i64, Ordering::SeqCst);
+        }
+        self.shared.deadline_ns.store(deadline_ns, Ordering::SeqCst);
+        let before = self.shared.events.load(Ordering::SeqCst);
+        self.shared
+            .event_limit
+            .store(before.saturating_add(max_events), Ordering::SeqCst);
+        let shared = &self.shared;
+        std::thread::scope(|scope| {
+            for (actor, st) in self.actors.iter_mut().zip(self.states.iter_mut()) {
+                scope.spawn(move || worker(actor, st, shared, first));
+            }
+        });
+        self.shared.events.load(Ordering::SeqCst) - before
+    }
+}
+
+/// Handle one envelope: run the actor handler, then retire the message
+/// from the outstanding count (order matters — work the handler spawns
+/// must be registered before this message retires).
+fn handle_message<M, A: Actor<M>>(
+    actor: &mut A,
+    st: &mut NodeState<M>,
+    shared: &Shared,
+    env: Envelope<M>,
+) {
+    st.stats.events_processed += 1;
+    shared.events.fetch_add(1, Ordering::Relaxed);
+    let mut mb = ThreadMailbox { st, shared };
+    let mut ctx = Ctx::from_mailbox(&mut mb);
+    actor.on_message(&mut ctx, env.src, env.verb, env.msg);
+    shared.outstanding.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// The per-node worker loop.
+fn worker<M, A: Actor<M>>(actor: &mut A, st: &mut NodeState<M>, shared: &Shared, first: bool) {
+    if first {
+        let mut mb = ThreadMailbox { st, shared };
+        let mut ctx = Ctx::from_mailbox(&mut mb);
+        actor.on_start(&mut ctx);
+        // Release the startup hold taken by `run_phase`.
+        shared.outstanding.fetch_sub(1, Ordering::SeqCst);
+    }
+    loop {
+        st.flush_deferred();
+        let deadline = shared.deadline_ns.load(Ordering::SeqCst);
+        if shared.now_ns() >= deadline {
+            return; // Pause: state survives for the next phase.
+        }
+        if shared.events.load(Ordering::Relaxed) >= shared.event_limit.load(Ordering::Relaxed) {
+            return; // Runaway guard tripped.
+        }
+
+        // Fire every due timer, then re-flush before sleeping. The
+        // deadline and event limit are re-checked per fire: a handler that
+        // re-arms a zero-delay timer is immediately due again, and without
+        // the checks this inner loop would never yield to the outer ones —
+        // the phase could neither pause nor trip the runaway guard.
+        let mut fired = false;
+        while let Some(due) = st.next_timer_due() {
+            if due > shared.now_ns() {
+                break;
+            }
+            if shared.now_ns() >= shared.deadline_ns.load(Ordering::SeqCst)
+                || shared.events.load(Ordering::Relaxed)
+                    >= shared.event_limit.load(Ordering::Relaxed)
+            {
+                break;
+            }
+            let Some(Reverse((_, _, token))) = st.timers.pop() else {
+                break;
+            };
+            st.stats.timer_fires += 1;
+            st.stats.events_processed += 1;
+            shared.events.fetch_add(1, Ordering::Relaxed);
+            let mut mb = ThreadMailbox { st, shared };
+            let mut ctx = Ctx::from_mailbox(&mut mb);
+            actor.on_timer(&mut ctx, token);
+            shared.outstanding.fetch_sub(1, Ordering::SeqCst);
+            fired = true;
+        }
+        if fired {
+            continue;
+        }
+
+        // Drain the mailbox without sleeping while messages are ready.
+        match st.rx.try_recv() {
+            Ok(env) => {
+                handle_message(actor, st, shared, env);
+                continue;
+            }
+            Err(std::sync::mpsc::TryRecvError::Empty) => {}
+            Err(std::sync::mpsc::TryRecvError::Disconnected) => return,
+        }
+
+        // Nothing ready here; if nothing is outstanding anywhere, the
+        // cluster is quiescent.
+        if shared.outstanding.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+
+        // Sleep until the next local timer, the phase deadline, or a
+        // park-tick (whichever is first); a message arrival wakes us.
+        let now = shared.now_ns();
+        let wake = st
+            .next_timer_due()
+            .unwrap_or(u64::MAX)
+            .min(deadline)
+            .min(now.saturating_add(MAX_PARK_NS));
+        let wait = wake.saturating_sub(now).max(1);
+        match st.rx.recv_timeout(std::time::Duration::from_nanos(wait)) {
+            Ok(env) => handle_message(actor, st, shared, env),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+impl<M: Send, A: Actor<M> + Send> Clock for ThreadedRuntime<M, A> {
+    fn now(&self) -> SimTime {
+        SimTime(self.shared.now_ns())
+    }
+}
+
+impl<M: Send, A: Actor<M> + Send> Runtime<M, A> for ThreadedRuntime<M, A> {
+    fn backend(&self) -> Backend {
+        Backend::Threaded
+    }
+
+    fn stats(&self) -> NetStats {
+        let mut merged = NetStats::default();
+        for st in &self.states {
+            merged.merge(&st.stats);
+        }
+        merged
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.actors.len()
+    }
+
+    fn actors(&self) -> &[A] {
+        &self.actors
+    }
+
+    fn actors_mut(&mut self) -> &mut [A] {
+        &mut self.actors
+    }
+
+    fn run_until(&mut self, until: SimTime) -> u64 {
+        self.run_phase(until.as_nanos(), u64::MAX)
+    }
+
+    fn run_to_quiescence(&mut self, max_events: u64) -> u64 {
+        self.run_phase(u64::MAX, max_events)
+    }
+
+    fn with_actor_ctx(&mut self, node: NodeId, f: &mut dyn FnMut(&mut A, &mut Ctx<'_, M>)) {
+        let st = &mut self.states[node.idx()];
+        let mut mb = ThreadMailbox {
+            st,
+            shared: &self.shared,
+        };
+        let mut ctx = Ctx::from_mailbox(&mut mb);
+        f(&mut self.actors[node.idx()], &mut ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One actor type covering every test role, so a single runtime can
+    /// host heterogeneous behaviors.
+    enum TestActor {
+        /// Sends `count` messages to node 1 at start, counts replies.
+        Pinger { count: u64, replies: u64 },
+        /// Replies `msg + 1000` to every message below 1000.
+        Echo { received: Vec<(NodeId, u64)> },
+        /// Records payloads in arrival order.
+        Recorder { received: Vec<u64> },
+        /// Re-arms a 50us timer until it has fired `limit` times.
+        Ticker {
+            fired: u64,
+            limit: u64,
+            delay_ns: u64,
+        },
+    }
+
+    impl Actor<u64> for TestActor {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            match self {
+                TestActor::Pinger { count, .. } => {
+                    for i in 0..*count {
+                        ctx.send(NodeId(1), Verb::OneSided, i);
+                    }
+                }
+                TestActor::Ticker { delay_ns, .. } => {
+                    ctx.set_timer(Duration::from_nanos(*delay_ns), 1)
+                }
+                _ => {}
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, src: NodeId, verb: Verb, msg: u64) {
+            match self {
+                TestActor::Pinger { replies, .. } => *replies += 1,
+                TestActor::Echo { received } => {
+                    received.push((src, msg));
+                    if msg < 1000 {
+                        ctx.send(src, verb, msg + 1000);
+                    }
+                }
+                TestActor::Recorder { received } => received.push(msg),
+                TestActor::Ticker { .. } => {}
+            }
+        }
+
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, u64>, token: u64) {
+            if let TestActor::Ticker {
+                fired,
+                limit,
+                delay_ns,
+            } = self
+            {
+                *fired += 1;
+                if fired < limit {
+                    ctx.set_timer(Duration::from_nanos(*delay_ns), token);
+                }
+            }
+        }
+    }
+
+    fn replies(a: &TestActor) -> u64 {
+        match a {
+            TestActor::Pinger { replies, .. } => *replies,
+            _ => 0,
+        }
+    }
+
+    #[test]
+    fn ping_pong_reaches_quiescence() {
+        let mut rt = ThreadedRuntime::new(vec![
+            TestActor::Pinger {
+                count: 500,
+                replies: 0,
+            },
+            TestActor::Echo {
+                received: Vec::new(),
+            },
+        ]);
+        rt.run_to_quiescence(u64::MAX);
+        assert_eq!(replies(&rt.actors()[0]), 500);
+        let stats = rt.stats();
+        assert_eq!(stats.one_sided_msgs, 1000);
+        assert_eq!(stats.events_processed, 1000);
+    }
+
+    /// Per-link FIFO even when the bounded mailbox overflows into the
+    /// deferred queue: node 1 must observe node 0's payloads in order.
+    #[test]
+    fn per_link_fifo_survives_mailbox_overflow() {
+        let n = 500u64;
+        let mut rt = ThreadedRuntime::with_mailbox_capacity(
+            vec![
+                TestActor::Pinger {
+                    count: n,
+                    replies: 0,
+                },
+                TestActor::Recorder {
+                    received: Vec::new(),
+                },
+            ],
+            4, // tiny mailbox: most sends park in the deferred queue
+        );
+        rt.run_to_quiescence(u64::MAX);
+        let TestActor::Recorder { received } = &rt.actors()[1] else {
+            panic!("node 1 is the recorder");
+        };
+        assert_eq!(received, &(0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn timers_fire_and_pause_resumes() {
+        let mut rt = ThreadedRuntime::new(vec![TestActor::Ticker {
+            fired: 0,
+            limit: 20,
+            delay_ns: 50_000,
+        }]);
+        // Phase 1: run a slice of wall time, then pause.
+        let start = rt.now();
+        rt.run_until(start + Duration::from_micros(300));
+        let TestActor::Ticker { fired: mid, .. } = rt.actors()[0] else {
+            panic!()
+        };
+        // Phase 2: any armed timer survives the pause; run to quiescence.
+        rt.run_to_quiescence(u64::MAX);
+        let TestActor::Ticker { fired, .. } = rt.actors()[0] else {
+            panic!()
+        };
+        assert!(fired >= mid);
+        assert_eq!(fired, 20);
+        assert_eq!(rt.stats().timer_fires, 20);
+    }
+
+    #[test]
+    fn control_plane_injection_between_phases() {
+        let mut rt = ThreadedRuntime::new(vec![
+            TestActor::Pinger {
+                count: 0,
+                replies: 0,
+            },
+            TestActor::Echo {
+                received: Vec::new(),
+            },
+        ]);
+        rt.run_to_quiescence(u64::MAX);
+        // Inject a send from node 0 while paused.
+        rt.with_actor_ctx(NodeId(0), &mut |_a, ctx| {
+            assert_eq!(ctx.node(), NodeId(0));
+            ctx.send(NodeId(1), Verb::Rpc, 7);
+        });
+        rt.run_to_quiescence(u64::MAX);
+        let TestActor::Echo { received } = &rt.actors()[1] else {
+            panic!()
+        };
+        assert_eq!(received.len(), 1);
+        assert_eq!(replies(&rt.actors()[0]), 1);
+    }
+
+    #[test]
+    fn event_limit_bounds_runaway_loops() {
+        // A ticker with no limit would re-arm forever; the event guard
+        // must stop the phase.
+        let mut rt = ThreadedRuntime::new(vec![TestActor::Ticker {
+            fired: 0,
+            limit: u64::MAX,
+            delay_ns: 50_000,
+        }]);
+        rt.run_to_quiescence(10);
+        let TestActor::Ticker { fired, .. } = rt.actors()[0] else {
+            panic!()
+        };
+        assert!(fired >= 10, "guard must not fire before the limit");
+        assert!(fired < 1000, "guard must stop the runaway ticker");
+    }
+
+    /// Regression: a handler that re-arms a zero-delay timer is due again
+    /// immediately; the timer-firing loop must still honor the event limit
+    /// (and the phase deadline) instead of spinning forever.
+    #[test]
+    fn zero_delay_timer_rearm_cannot_hang_a_phase() {
+        let mut rt = ThreadedRuntime::new(vec![TestActor::Ticker {
+            fired: 0,
+            limit: u64::MAX,
+            delay_ns: 0,
+        }]);
+        rt.run_to_quiescence(1_000);
+        let TestActor::Ticker { fired, .. } = rt.actors()[0] else {
+            panic!()
+        };
+        assert!(fired >= 1_000, "guard must not fire before the limit");
+        assert!(fired < 100_000, "guard must stop the zero-delay ticker");
+    }
+
+    #[test]
+    fn clock_is_monotonic() {
+        let rt = ThreadedRuntime::<u64, TestActor>::new(vec![TestActor::Recorder {
+            received: Vec::new(),
+        }]);
+        let a = rt.now();
+        let b = rt.now();
+        assert!(b >= a);
+    }
+}

@@ -26,3 +26,25 @@ pub mod shift;
 pub mod tpcc;
 pub mod transfer;
 pub mod ycsb;
+
+#[cfg(test)]
+mod send_bounds {
+    //! Every input source must be `Send`: the threaded backend moves each
+    //! engine (and its boxed source) onto its own OS thread. `InputSource`
+    //! carries the bound in its supertrait; these assertions pin it per
+    //! concrete type so a stray `Rc`/raw pointer in a source is caught at
+    //! compile time, next to the workload that introduced it.
+
+    fn assert_send<T: Send>() {}
+
+    #[test]
+    fn all_sources_are_send() {
+        assert_send::<crate::transfer::TransferSource>();
+        assert_send::<crate::ycsb::YcsbSource>();
+        assert_send::<crate::tpcc::source::TpccSource>();
+        assert_send::<crate::instacart::InstacartSource>();
+        assert_send::<crate::flight::FlightSource>();
+        assert_send::<crate::shift::ShiftedSource<crate::transfer::TransferSource>>();
+        assert_send::<Box<dyn chiller_cc::input::InputSource>>();
+    }
+}

@@ -171,24 +171,66 @@ pub fn build_shifting_cluster(
     builder.build().expect("valid shifting transfer cluster")
 }
 
-/// Build a transfer cluster with the Chiller-style hot-set placement.
+/// Build a transfer cluster with the Chiller-style hot-set placement on
+/// the deterministic simulator.
 pub fn build_cluster(
     cfg: &TransferConfig,
     nodes: usize,
     protocol: Protocol,
     sim: SimConfig,
 ) -> Cluster {
+    build_cluster_on(cfg, nodes, protocol, sim, Backend::Simulated)
+}
+
+/// Build a transfer cluster on an explicit execution backend — the same
+/// schema, placement, procedures and sources either way, so simulated and
+/// threaded runs are directly comparable.
+pub fn build_cluster_on(
+    cfg: &TransferConfig,
+    nodes: usize,
+    protocol: Protocol,
+    sim: SimConfig,
+    backend: Backend,
+) -> Cluster {
     let mut builder = ClusterBuilder::new(TransferConfig::schema(), nodes);
     let proc = builder.register_proc(transfer_proc());
     builder
         .protocol(protocol)
         .config(sim)
+        .runtime(backend)
         .placement(Arc::new(cfg.chiller_placement(nodes as u32)))
         .hot_records(cfg.hot_records())
         .load(cfg.initial_records());
     let cfg = cfg.clone();
     builder.source_per_node(move |_| Box::new(TransferSource::new(cfg.clone(), proc)));
     builder.build().expect("valid transfer cluster")
+}
+
+/// Assert the post-quiescence serializability contract on a transfer
+/// cluster: balance conservation, no leaked locks, no zombie
+/// transactions, zero replica divergence. Shared by the parity-style
+/// suites and the threaded stress/bench paths so the contract lives in
+/// one place. The cluster must already be quiesced.
+pub fn assert_serializability_invariants(cluster: &Cluster, cfg: &TransferConfig, label: &str) {
+    let total = total_balance(cluster);
+    let expect = cfg.accounts as f64 * INITIAL_BALANCE;
+    assert!(
+        (total - expect).abs() < 1e-6,
+        "{label}: balance {total} != {expect} — conservation violated"
+    );
+    for engine in cluster.engines() {
+        assert!(
+            engine.store().all_locks_free(),
+            "{label}: leaked locks on node {}",
+            engine.store().partition
+        );
+        assert_eq!(engine.open_txns(), 0, "{label}: zombie transactions");
+    }
+    assert_eq!(
+        cluster.replica_divergence(),
+        0,
+        "{label}: replicas diverged"
+    );
 }
 
 /// Sum of all account balances across primaries (conservation check).
