@@ -5,18 +5,18 @@
 //! hot-record lookup table is frozen for the run. This crate closes that
 //! loop at runtime as an epoch-driven feedback cycle:
 //!
-//! 1. a per-engine [`ContentionMonitor`](monitor::ContentionMonitor)
+//! 1. a per-engine [`ContentionMonitor`]
 //!    aggregates lock-conflict / abort / access counters and sampled
 //!    transaction read/write-sets into bounded epoch summaries (decayed
 //!    sketches, capped sample buffers);
-//! 2. a [`Directory`](directory::Directory) replaces the frozen
+//! 2. a [`Directory`] replaces the frozen
 //!    `LookupTable`: the same hot-entry-over-default-partitioner placement,
 //!    but mutable at deterministic points in virtual time;
-//! 3. an [`AdaptivePlanner`](planner::AdaptivePlanner) re-runs the existing
+//! 3. an [`AdaptivePlanner`] re-runs the existing
 //!    `ChillerPartitioner`/`ContentionModel` incrementally over a sliding
 //!    window of epoch summaries, aligns the resulting partition labels with
 //!    the current layout, and diffs the two into a bounded
-//!    [`MigrationPlan`](planner::MigrationPlan).
+//!    [`MigrationPlan`].
 //!
 //! The migration *protocol* (lock, copy, re-home, re-publish) lives in
 //! `chiller-cc`: migrations are ordinary NO_WAIT lock-based writes in

@@ -24,7 +24,7 @@
 //!
 //! Implementations are stateless zero-sized types — all per-transaction
 //! state lives in [`Coord`], all per-node state in
-//! [`EngineActor`](crate::engine::EngineActor) — so a strategy is just a
+//! [`EngineActor`] — so a strategy is just a
 //! `&'static dyn CoordinatorProtocol` selected at engine construction.
 //! Adding a protocol (deterministic/Calvin-style, FaRM-style, …) means
 //! adding one module here plus a [`Protocol`] variant; the engine shell,
@@ -62,8 +62,8 @@ pub use two_pl::TwoPlCoordinator;
 /// metrics and scheduling, plus the per-transaction [`Coord`] — which the
 /// engine has temporarily removed from its open-transaction table, so
 /// implementations never touch `eng.txns` for the current transaction.
-/// Setting `coord.phase = Phase::Done` (via [`finish_commit`] /
-/// [`abort_attempt`]) retires the transaction.
+/// Setting `coord.phase = Phase::Done` (via `finish_commit` /
+/// `abort_attempt`) retires the transaction.
 pub trait CoordinatorProtocol: Send + Sync {
     /// The [`Protocol`] this strategy implements.
     fn protocol(&self) -> Protocol;

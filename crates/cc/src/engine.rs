@@ -9,9 +9,8 @@
 //!   execution, replication) go to the storage-owner handlers in
 //!   [`crate::participant`];
 //! * coordinator-side responses go to the active
-//!   [`CoordinatorProtocol`](crate::coordinator::CoordinatorProtocol)
-//!   strategy, selected once at construction from
-//!   [`Protocol`](crate::protocol::Protocol).
+//!   [`CoordinatorProtocol`] strategy, selected once at construction
+//!   from [`Protocol`].
 //!
 //! Everything protocol-specific — the §3.3 region decision, wave message
 //! types, prepare/validate rounds, decide/replicate handling — lives behind

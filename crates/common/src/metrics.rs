@@ -10,10 +10,18 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Latency histogram with logarithmic buckets (HdrHistogram-style, base-2
-/// buckets with 16 linear sub-buckets), covering 1ns .. ~18s.
+/// buckets with 64 linear sub-buckets), covering 1ns .. ~18s.
 ///
-/// Recording is O(1); quantile queries are O(buckets). Good-enough fidelity
-/// (<= 6.25% relative error) for the latency distributions reported here.
+/// Recording is O(1); quantile queries are O(buckets).
+///
+/// The sub-bucket count is calibrated for the *wall-clock* range: on the
+/// threaded backend committed-transaction latencies sit in the
+/// 100µs–100ms decades (scheduler quanta included), where a quantile's
+/// relative error is one sub-bucket width — 1/64 ≈ 1.6% here, so a 10ms
+/// p99 resolves to ±160µs. The original 16 sub-buckets (6.25%) were fine
+/// for the simulator's tightly clustered virtual latencies but made
+/// threaded p99s jump in ≥0.6ms steps. Memory cost is ~29KB per
+/// histogram, irrelevant at one `MetricSet` per engine.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Histogram {
     buckets: Vec<u64>,
@@ -23,8 +31,8 @@ pub struct Histogram {
     min: u64,
 }
 
-const SUB_BUCKETS: usize = 16;
-const SUB_BITS: u32 = 4; // log2(SUB_BUCKETS)
+const SUB_BUCKETS: usize = 64;
+const SUB_BITS: u32 = 6; // log2(SUB_BUCKETS)
 const NUM_BUCKETS: usize = (64 - SUB_BITS as usize) * SUB_BUCKETS;
 
 impl Default for Histogram {
@@ -300,10 +308,34 @@ mod tests {
             assert!(idx >= last, "bucket index must be monotone in value");
             last = idx;
             let rep = Histogram::bucket_value(idx);
-            // Representative within 1/16 relative error.
-            assert!(rep as f64 >= v as f64 * 0.9, "v={v} rep={rep}");
-            assert!(rep as f64 <= v as f64 * 1.07 + 1.0, "v={v} rep={rep}");
+            // Representative within one sub-bucket (1/64 relative error).
+            assert!(rep as f64 >= v as f64 * 0.98, "v={v} rep={rep}");
+            assert!(rep as f64 <= v as f64 * 1.016 + 1.0, "v={v} rep={rep}");
         }
+    }
+
+    /// The calibration target: quantiles over the wall-clock decades
+    /// (100µs..100ms in ns) must resolve to better than 2% relative
+    /// error, so threaded p99s are as readable as simulated ones.
+    #[test]
+    fn histogram_wall_clock_range_resolves_fine() {
+        let mut h = Histogram::new();
+        // Uniform spread over 100µs..10ms — the threaded latency band.
+        for v in (100_000u64..=10_000_000).step_by(1_000) {
+            h.record(v);
+        }
+        let p99 = h.p99() as f64;
+        let expect = 0.99 * (10_000_000.0 - 100_000.0) + 100_000.0;
+        assert!(
+            (p99 - expect).abs() / expect < 0.02,
+            "p99={p99} expect~{expect}"
+        );
+        let p50 = h.p50() as f64;
+        let expect50 = 0.50 * (10_000_000.0 - 100_000.0) + 100_000.0;
+        assert!(
+            (p50 - expect50).abs() / expect50 < 0.02,
+            "p50={p50} expect~{expect50}"
+        );
     }
 
     #[test]

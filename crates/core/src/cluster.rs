@@ -35,6 +35,7 @@ pub struct RunSpec {
 }
 
 impl RunSpec {
+    /// A run of `warmup` (metrics discarded) followed by `measure`.
     pub fn new(warmup: Duration, measure: Duration) -> Self {
         RunSpec {
             warmup,
@@ -78,6 +79,11 @@ pub struct ClusterBuilder {
 }
 
 impl ClusterBuilder {
+    /// Start a builder for a cluster of `nodes` partitions sharing
+    /// `schema` — one node per partition, each running one execution
+    /// engine (the paper's one-engine-per-core deployment). Defaults:
+    /// Chiller protocol, default `SimConfig`, hash placement, simulated
+    /// backend, no adaptation.
     pub fn new(schema: Schema, nodes: usize) -> Self {
         assert!(nodes >= 1);
         ClusterBuilder {
@@ -104,11 +110,16 @@ impl ClusterBuilder {
         self
     }
 
+    /// Select the concurrency-control protocol every engine runs
+    /// (Chiller two-region, 2PL+2PC, or distributed OCC).
     pub fn protocol(&mut self, p: Protocol) -> &mut Self {
         self.protocol = p;
         self
     }
 
+    /// Set the simulation/engine configuration: RNG seed, engine
+    /// concurrency, network cost model (simulated backend only),
+    /// replication factor, retry policy.
     pub fn config(&mut self, c: SimConfig) -> &mut Self {
         self.config = c;
         self
@@ -157,6 +168,12 @@ impl ClusterBuilder {
         self
     }
 
+    /// Materialize the cluster: allocate primary and replica stores,
+    /// distribute the staged records by the configured placement, build
+    /// one engine actor per node, and wrap everything in the selected
+    /// execution backend. Fails on configuration errors (no input
+    /// source, no procedures, records placed off-cluster, adaptation
+    /// combined with OCC or a zero epoch).
     pub fn build(self) -> Result<Cluster> {
         let source_factory = self
             .source_factory
@@ -483,6 +500,8 @@ impl Cluster {
         self.adaptive.as_ref().map(|a| &a.directory)
     }
 
+    /// Current runtime time: virtual on the simulated backend, wall-clock
+    /// offset since runtime creation on the threaded backend.
     pub fn now(&self) -> SimTime {
         self.rt.now()
     }
@@ -492,6 +511,7 @@ impl Cluster {
         self.rt.actors()
     }
 
+    /// Number of nodes (= partitions = engines) in the cluster.
     pub fn num_nodes(&self) -> usize {
         self.rt.num_nodes()
     }

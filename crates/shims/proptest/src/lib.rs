@@ -103,7 +103,7 @@ pub mod strategy {
     /// One boxed generator arm of a [`Union`].
     pub type ArmFn<T> = Box<dyn Fn(&mut TestRng) -> T>;
 
-    /// Uniform choice between same-valued strategies ([`prop_oneof!`]).
+    /// Uniform choice between same-valued strategies (`prop_oneof!`).
     pub struct Union<T> {
         arms: Vec<ArmFn<T>>,
     }

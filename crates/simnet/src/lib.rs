@@ -19,10 +19,14 @@
 //! the transaction engines in `chiller-cc` are [`Actor`]s plugged into
 //! either backend unchanged. See [`runtime`] for the trait contracts.
 
+#![warn(missing_docs)]
+
 pub mod runtime;
 pub mod sim;
 pub mod threaded;
+pub mod timer_wheel;
 
 pub use runtime::{Actor, Backend, Clock, Ctx, Mailbox, NetStats, Runtime, Verb};
 pub use sim::Simulation;
 pub use threaded::{ThreadedRuntime, DEFAULT_MAILBOX_CAPACITY};
+pub use timer_wheel::TimerWheel;

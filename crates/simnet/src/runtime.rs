@@ -46,10 +46,15 @@ pub enum Verb {
 /// keeps one per worker thread and merges them on read.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NetStats {
+    /// One-sided RDMA verbs sent between distinct nodes.
     pub one_sided_msgs: u64,
+    /// Two-sided RPCs sent between distinct nodes.
     pub rpc_msgs: u64,
+    /// Messages a node sent to itself (no network traversal).
     pub local_msgs: u64,
+    /// Timer callbacks delivered.
     pub timer_fires: u64,
+    /// Total events handled (messages + timer fires), all nodes.
     pub events_processed: u64,
 }
 
@@ -97,6 +102,8 @@ impl std::fmt::Display for Backend {
 /// A source of "now". Virtual nanoseconds on the simulator; monotonic
 /// wall-clock nanoseconds since runtime creation on the threaded backend.
 pub trait Clock {
+    /// Current time: virtual on the simulator, wall-clock offset on the
+    /// threaded backend.
     fn now(&self) -> SimTime;
 }
 
@@ -224,6 +231,7 @@ pub trait Runtime<M, A: Actor<M>>: Clock {
     /// Merged network counters across all nodes/threads.
     fn stats(&self) -> NetStats;
 
+    /// Number of nodes in the cluster (one actor each).
     fn num_nodes(&self) -> usize;
 
     /// The actors, in node order. Valid while the runtime is paused.

@@ -201,22 +201,27 @@ impl<M, A: Actor<M>> Simulation<M, A> {
         }
     }
 
+    /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.core.clock
     }
 
+    /// Network counters accumulated so far (all nodes).
     pub fn stats(&self) -> NetStats {
         self.core.stats
     }
 
+    /// The actors, in node order.
     pub fn actors(&self) -> &[A] {
         &self.actors
     }
 
+    /// Mutable actor access, in node order.
     pub fn actors_mut(&mut self) -> &mut [A] {
         &mut self.actors
     }
 
+    /// Number of simulated nodes (one actor each).
     pub fn num_nodes(&self) -> usize {
         self.actors.len()
     }

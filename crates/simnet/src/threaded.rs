@@ -9,41 +9,61 @@
 //!
 //! * **Clock** — monotonic wall-clock nanoseconds since runtime creation
 //!   (the `SimTime` values actors see are real elapsed time).
-//! * **Send** — bounded `sync_channel` per node. Sends never block: when
-//!   a destination mailbox is full the message parks in a per-destination
-//!   deferred queue and is flushed before the sender next sleeps, so
-//!   cyclic protocols (engine A mid-handler sending to B while B sends to
-//!   A) cannot deadlock. Per-link FIFO is preserved — mpsc guarantees
-//!   per-sender order and the deferred queue refuses to let later
-//!   messages overtake parked ones.
-//! * **Timers** — a per-thread min-heap; the worker sleeps with
-//!   `recv_timeout` until the next due timer (or an incoming message).
+//! * **Send** — bounded `sync_channel` per node. Sends never block and
+//!   never touch a channel mid-handler: remote sends park in a local
+//!   queue flushed once per worker-loop batch, and self-sends go to a
+//!   zero-synchronization local queue that never touches a channel at
+//!   all. Cyclic protocols (engine A mid-handler sending to B while B
+//!   sends to A) cannot deadlock. The flush preserves not just per-link
+//!   FIFO but each sender's *global* send order across destinations
+//!   (stalling at a full mailbox instead of skipping it) — protocols
+//!   build happens-before chains through third nodes that a weaker
+//!   ordering would break.
+//! * **Timers** — a per-thread hashed [`TimerWheel`]; the worker sleeps
+//!   until *short of* the next due time and spins the final approach,
+//!   keeping timer slop well below the OS sleep granularity.
 //! * **`use_cpu`** — a no-op: real CPU is consumed by actually executing
 //!   the handler.
 //!
+//! ## The batched hot path
+//!
+//! Each worker-loop iteration (1) flushes parked sends, (2) fires due
+//! timers, (3) drains up to `MESSAGE_BATCH` envelopes from its channel,
+//! handling each in place. Bookkeeping that used to cost one atomic RMW
+//! per event — the cluster-wide outstanding-work counter, the global
+//! event counter — is accumulated in thread-local deltas and published
+//! once per batch. On a contended host this turns the per-message cost
+//! from several cross-core atomics plus a possible futex wake into plain
+//! local arithmetic for all but the last message of each batch.
+//!
 //! ## Run phases and quiescence
 //!
-//! Worker threads only exist inside [`ThreadedRuntime::run_until`] /
-//! [`ThreadedRuntime::run_to_quiescence`] (scoped threads). Between
-//! phases the main thread has exclusive access to the actors —
+//! Worker threads only exist inside [`Runtime::run_until`] /
+//! [`Runtime::run_to_quiescence`] (scoped threads). Between phases the
+//! main thread has exclusive access to the actors —
 //! [`Runtime::actors_mut`] and [`Runtime::with_actor_ctx`] work exactly
 //! as on the simulator, which is what lets the cluster layer reset
 //! metrics at the warm-up boundary, drive the adaptive epoch scheduler,
-//! and check invariants after a drain. In-flight messages, deferred
-//! sends and armed timers survive a pause and resume with the next phase.
+//! and check invariants after a drain. In-flight messages, parked sends
+//! and armed timers survive a pause and resume with the next phase.
 //!
 //! Quiescence is detected with a global outstanding-work counter:
 //! incremented for every queued message and armed timer, decremented
 //! only *after* the receiving handler returns (so work spawned by a
 //! handler keeps the count positive). Zero therefore means no queued
 //! message, no armed timer, and no handler mid-flight anywhere — workers
-//! observe it and exit.
+//! observe it and exit. Batching keeps this sound by construction: a
+//! worker publishes its accumulated delta (spawns minus retirements)
+//! in a *single* atomic add before it flushes the spawned messages to
+//! their destination channels, so no other thread can consume a message
+//! whose registration is still pending, and un-retired batch messages
+//! hold the count positive throughout.
 
 use crate::runtime::{Actor, Backend, Clock, Ctx, Mailbox, NetStats, Runtime, Verb};
+use crate::timer_wheel::TimerWheel;
 use chiller_common::ids::NodeId;
 use chiller_common::time::{Duration, SimTime};
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::time::Instant;
@@ -54,6 +74,29 @@ pub const DEFAULT_MAILBOX_CAPACITY: usize = 1024;
 /// Longest a worker sleeps before re-checking the deadline and the
 /// quiescence counter (pause responsiveness, not correctness).
 const MAX_PARK_NS: u64 = 200_000;
+
+/// Most messages a worker handles per loop iteration before it re-flushes
+/// parked sends and re-checks timers, the deadline and the event limit.
+/// Bounds both control-latency (pause responsiveness) and the burst a
+/// destination can lag behind its own timers.
+const MESSAGE_BATCH: usize = 64;
+
+/// When the next armed timer is within this horizon the worker spins
+/// (polling its channel) instead of sleeping; when it is further out the
+/// worker sleeps until `due - SPIN_BEFORE_SLEEP_NS` and spins the final
+/// approach. 50µs ≈ the OS sleep slop being compensated for.
+///
+/// Spinning only happens when the host has a core per worker (see
+/// [`Shared::spin_allowed`]): on an oversubscribed host a spinning
+/// worker holds the core hostage from workers with real work, and
+/// blocking in `recv_timeout` is better for aggregate throughput than
+/// timer fidelity is worth.
+const SPIN_BEFORE_SLEEP_NS: u64 = 50_000;
+
+/// During a spin phase, yield to the OS scheduler every this many
+/// iterations as a safety valve (e.g. when other processes share the
+/// worker's core even though the cluster itself is not oversubscribed).
+const SPIN_YIELD_EVERY: u32 = 64;
 
 /// A message in flight between two nodes.
 struct Envelope<M> {
@@ -73,14 +116,24 @@ struct Shared {
     /// Runaway guard for `run_to_quiescence`: stop once
     /// `events_processed` passes this.
     event_limit: AtomicU64,
-    /// Total events processed across all threads (guard bookkeeping).
+    /// Total events processed across all threads (guard bookkeeping;
+    /// published per batch, so approximate while a batch is mid-flight).
     events: AtomicU64,
+    /// Whether workers may spin-wait for near timers: true only when the
+    /// host has at least one core per worker, i.e. spinning cannot starve
+    /// another worker that has real work.
+    spin_allowed: bool,
 }
 
 impl Shared {
     #[inline]
     fn now_ns(&self) -> u64 {
         self.start.elapsed().as_nanos() as u64
+    }
+
+    #[inline]
+    fn limit_hit(&self) -> bool {
+        self.events.load(Ordering::Relaxed) >= self.event_limit.load(Ordering::Relaxed)
     }
 }
 
@@ -91,51 +144,63 @@ struct NodeState<M> {
     rx: Receiver<Envelope<M>>,
     /// Senders to every node's mailbox (index = destination node).
     txs: Vec<SyncSender<Envelope<M>>>,
-    /// Armed timers: min-heap of (due_ns, seq, token); seq keeps FIFO
-    /// order among timers due at the same instant.
-    timers: BinaryHeap<Reverse<(u64, u64, u64)>>,
-    timer_seq: u64,
-    /// Sends parked because the destination mailbox was full, per
-    /// destination. Later sends to the same destination queue behind the
-    /// parked ones to preserve per-link FIFO.
-    deferred: BTreeMap<NodeId, VecDeque<Envelope<M>>>,
+    /// Armed timers, hashed by due tick (see [`TimerWheel`]).
+    timers: TimerWheel,
+    /// Scratch buffer for expired-timer batches (reused across fires).
+    fired: Vec<(u64, u64)>,
+    /// Remote sends parked locally until the per-batch flush, in send
+    /// order across *all* destinations. Global (not per-destination)
+    /// FIFO is load-bearing: protocols build happens-before chains that
+    /// route through third nodes (e.g. a commit's `Replicate` to a
+    /// replica holder must be enqueued before its unlock reaches the
+    /// primary, or a later transaction's `Replicate` can overtake it),
+    /// so the flush must never let a later send to one destination pass
+    /// an earlier send to another.
+    pending: VecDeque<(NodeId, Envelope<M>)>,
+    /// Self-sends, delivered without touching the channel: the self link
+    /// has exactly one sender and one receiver (this thread), so a plain
+    /// FIFO queue preserves its order at zero synchronization cost.
+    local: VecDeque<Envelope<M>>,
+    /// Spawns (sends + armed timers) minus retirements (handled events)
+    /// not yet published to `Shared::outstanding`.
+    outstanding_delta: i64,
     stats: NetStats,
 }
 
 impl<M> NodeState<M> {
-    /// Queue `env` for `dst`, preserving per-link FIFO and never blocking.
-    fn enqueue(&mut self, dst: NodeId, env: Envelope<M>) {
-        let parked = self.deferred.entry(dst).or_default();
-        if parked.is_empty() {
-            // Receivers live as long as the runtime; a disconnect can only
-            // mean teardown, where dropping the message is harmless.
-            if let Err(TrySendError::Full(env)) = self.txs[dst.idx()].try_send(env) {
-                parked.push_back(env);
-            }
-        } else {
-            parked.push_back(env);
+    /// Publish the accumulated outstanding-work delta. Must run before
+    /// this thread flushes pending sends, sleeps, or checks quiescence —
+    /// see the module docs for why this ordering keeps quiescence sound.
+    #[inline]
+    fn publish_outstanding(&mut self, shared: &Shared) {
+        if self.outstanding_delta != 0 {
+            shared
+                .outstanding
+                .fetch_add(self.outstanding_delta, Ordering::SeqCst);
+            self.outstanding_delta = 0;
         }
     }
 
-    /// Retry parked sends (in node order per destination, FIFO within).
-    fn flush_deferred(&mut self) {
-        for (dst, parked) in self.deferred.iter_mut() {
-            while let Some(env) = parked.pop_front() {
-                match self.txs[dst.idx()].try_send(env) {
-                    Ok(()) => {}
-                    Err(TrySendError::Full(env)) => {
-                        parked.push_front(env);
-                        break;
-                    }
-                    Err(TrySendError::Disconnected(_)) => break,
+    /// Push parked sends into their destination channels in send order.
+    /// Stops entirely at the first full mailbox: letting later sends
+    /// overtake the blocked one would break the cross-destination
+    /// ordering documented on [`NodeState::pending`]. The stall blocks
+    /// only the flush, never this worker (it keeps draining its own
+    /// channel, which is what frees the peer's capacity), so cyclic
+    /// full-mailbox configurations still make progress.
+    fn flush_pending(&mut self) {
+        while let Some((dst, env)) = self.pending.pop_front() {
+            match self.txs[dst.idx()].try_send(env) {
+                Ok(()) => {}
+                Err(TrySendError::Full(env)) => {
+                    self.pending.push_front((dst, env));
+                    break;
                 }
+                // Receivers live as long as the runtime; a disconnect can
+                // only mean teardown, where dropping is harmless.
+                Err(TrySendError::Disconnected(_)) => {}
             }
         }
-        self.deferred.retain(|_, q| !q.is_empty());
-    }
-
-    fn next_timer_due(&self) -> Option<u64> {
-        self.timers.peek().map(|Reverse((due, _, _))| *due)
     }
 }
 
@@ -159,25 +224,25 @@ impl<M> Mailbox<M> for ThreadMailbox<'_, M> {
 
     fn send(&mut self, dst: NodeId, verb: Verb, msg: M) {
         let src = self.st.node;
+        self.st.outstanding_delta += 1;
         if src == dst {
             self.st.stats.local_msgs += 1;
+            self.st.local.push_back(Envelope { src, verb, msg });
         } else {
             match verb {
                 Verb::OneSided => self.st.stats.one_sided_msgs += 1,
                 Verb::Rpc => self.st.stats.rpc_msgs += 1,
             }
+            self.st
+                .pending
+                .push_back((dst, Envelope { src, verb, msg }));
         }
-        self.shared.outstanding.fetch_add(1, Ordering::SeqCst);
-        self.st.enqueue(dst, Envelope { src, verb, msg });
     }
 
     fn set_timer(&mut self, d: Duration, token: u64) {
-        self.shared.outstanding.fetch_add(1, Ordering::SeqCst);
-        self.st.timer_seq += 1;
+        self.st.outstanding_delta += 1;
         let due = self.shared.now_ns().saturating_add(d.as_nanos());
-        self.st
-            .timers
-            .push(Reverse((due, self.st.timer_seq, token)));
+        self.st.timers.insert(due, token);
     }
 
     fn set_timer_when_free(&mut self, d: Duration, token: u64) {
@@ -192,7 +257,7 @@ impl<M> Mailbox<M> for ThreadMailbox<'_, M> {
 }
 
 /// One OS thread per actor, scoped to each run phase. See the module docs
-/// for the execution model.
+/// for the execution model and the batched hot path.
 pub struct ThreadedRuntime<M, A> {
     actors: Vec<A>,
     states: Vec<NodeState<M>>,
@@ -225,9 +290,11 @@ impl<M: Send, A: Actor<M> + Send> ThreadedRuntime<M, A> {
                 node: NodeId(i as u32),
                 rx,
                 txs: txs.clone(),
-                timers: BinaryHeap::new(),
-                timer_seq: 0,
-                deferred: BTreeMap::new(),
+                timers: TimerWheel::default(),
+                fired: Vec::new(),
+                pending: VecDeque::new(),
+                local: VecDeque::new(),
+                outstanding_delta: 0,
                 stats: NetStats::default(),
             })
             .collect();
@@ -240,6 +307,9 @@ impl<M: Send, A: Actor<M> + Send> ThreadedRuntime<M, A> {
                 deadline_ns: AtomicU64::new(0),
                 event_limit: AtomicU64::new(u64::MAX),
                 events: AtomicU64::new(0),
+                spin_allowed: std::thread::available_parallelism()
+                    .map(|p| p.get() >= n.max(1))
+                    .unwrap_or(false),
             },
             started: false,
         }
@@ -273,9 +343,9 @@ impl<M: Send, A: Actor<M> + Send> ThreadedRuntime<M, A> {
     }
 }
 
-/// Handle one envelope: run the actor handler, then retire the message
-/// from the outstanding count (order matters — work the handler spawns
-/// must be registered before this message retires).
+/// Run the actor handler for one envelope. Retirement (the outstanding
+/// decrement) is the caller's job, batched via `outstanding_delta`.
+#[inline]
 fn handle_message<M, A: Actor<M>>(
     actor: &mut A,
     st: &mut NodeState<M>,
@@ -283,72 +353,128 @@ fn handle_message<M, A: Actor<M>>(
     env: Envelope<M>,
 ) {
     st.stats.events_processed += 1;
-    shared.events.fetch_add(1, Ordering::Relaxed);
     let mut mb = ThreadMailbox { st, shared };
     let mut ctx = Ctx::from_mailbox(&mut mb);
     actor.on_message(&mut ctx, env.src, env.verb, env.msg);
-    shared.outstanding.fetch_sub(1, Ordering::SeqCst);
 }
 
-/// The per-node worker loop.
+/// Retire `handled` events in one atomic publish: subtract them from the
+/// local delta (spawned work the handlers registered is already in it)
+/// and push the net change to the shared counter.
+#[inline]
+fn retire<M>(st: &mut NodeState<M>, shared: &Shared, handled: u64) {
+    if handled > 0 {
+        shared.events.fetch_add(handled, Ordering::Relaxed);
+        st.outstanding_delta -= handled as i64;
+    }
+    st.publish_outstanding(shared);
+}
+
+/// Fire every due timer, batched through the wheel. The deadline and
+/// event limit are re-checked per fire: a handler that re-arms a
+/// zero-delay timer is immediately due again, and without the checks the
+/// fire loop could neither pause nor trip the runaway guard. Timers
+/// popped but not fired when a check trips are restored un-fired.
+/// Returns the number of timers fired.
+fn fire_due_timers<M, A: Actor<M>>(actor: &mut A, st: &mut NodeState<M>, shared: &Shared) -> u64 {
+    let mut total = 0u64;
+    loop {
+        let mut batch = std::mem::take(&mut st.fired);
+        batch.clear();
+        st.timers.pop_expired(shared.now_ns(), &mut batch);
+        if batch.is_empty() {
+            st.fired = batch;
+            break;
+        }
+        let mut stop = false;
+        for (i, &(_due, token)) in batch.iter().enumerate() {
+            if shared.now_ns() >= shared.deadline_ns.load(Ordering::SeqCst) || shared.limit_hit() {
+                // Phase over mid-batch: re-arm the un-fired remainder in
+                // popped order (preserves FIFO among equal due times).
+                for &(due, token) in &batch[i..] {
+                    st.timers.restore(due, token);
+                }
+                stop = true;
+                break;
+            }
+            st.stats.timer_fires += 1;
+            st.stats.events_processed += 1;
+            shared.events.fetch_add(1, Ordering::Relaxed);
+            total += 1;
+            st.outstanding_delta -= 1;
+            let mut mb = ThreadMailbox { st, shared };
+            let mut ctx = Ctx::from_mailbox(&mut mb);
+            actor.on_timer(&mut ctx, token);
+        }
+        st.fired = batch;
+        if stop {
+            break;
+        }
+    }
+    st.publish_outstanding(shared);
+    total
+}
+
+/// The per-node worker loop. See the module docs for the batched hot
+/// path; the loop invariant is that `outstanding_delta` is published
+/// (and therefore zero) at every point where the thread may sleep, spin,
+/// check quiescence, or return.
 fn worker<M, A: Actor<M>>(actor: &mut A, st: &mut NodeState<M>, shared: &Shared, first: bool) {
     if first {
-        let mut mb = ThreadMailbox { st, shared };
-        let mut ctx = Ctx::from_mailbox(&mut mb);
-        actor.on_start(&mut ctx);
+        {
+            let mut mb = ThreadMailbox { st, shared };
+            let mut ctx = Ctx::from_mailbox(&mut mb);
+            actor.on_start(&mut ctx);
+        }
+        st.publish_outstanding(shared);
         // Release the startup hold taken by `run_phase`.
         shared.outstanding.fetch_sub(1, Ordering::SeqCst);
     }
     loop {
-        st.flush_deferred();
+        debug_assert_eq!(st.outstanding_delta, 0, "delta published before loop top");
+        st.flush_pending();
         let deadline = shared.deadline_ns.load(Ordering::SeqCst);
         if shared.now_ns() >= deadline {
             return; // Pause: state survives for the next phase.
         }
-        if shared.events.load(Ordering::Relaxed) >= shared.event_limit.load(Ordering::Relaxed) {
+        if shared.limit_hit() {
             return; // Runaway guard tripped.
         }
 
-        // Fire every due timer, then re-flush before sleeping. The
-        // deadline and event limit are re-checked per fire: a handler that
-        // re-arms a zero-delay timer is immediately due again, and without
-        // the checks this inner loop would never yield to the outer ones —
-        // the phase could neither pause nor trip the runaway guard.
-        let mut fired = false;
-        while let Some(due) = st.next_timer_due() {
-            if due > shared.now_ns() {
-                break;
-            }
-            if shared.now_ns() >= shared.deadline_ns.load(Ordering::SeqCst)
-                || shared.events.load(Ordering::Relaxed)
-                    >= shared.event_limit.load(Ordering::Relaxed)
-            {
-                break;
-            }
-            let Some(Reverse((_, _, token))) = st.timers.pop() else {
-                break;
-            };
-            st.stats.timer_fires += 1;
-            st.stats.events_processed += 1;
-            shared.events.fetch_add(1, Ordering::Relaxed);
-            let mut mb = ThreadMailbox { st, shared };
-            let mut ctx = Ctx::from_mailbox(&mut mb);
-            actor.on_timer(&mut ctx, token);
-            shared.outstanding.fetch_sub(1, Ordering::SeqCst);
-            fired = true;
-        }
-        if fired {
-            continue;
+        if fire_due_timers(actor, st, shared) > 0 {
+            continue; // Re-flush what the timer handlers sent.
         }
 
-        // Drain the mailbox without sleeping while messages are ready.
-        match st.rx.try_recv() {
-            Ok(env) => {
+        // Drain a batch of messages without touching shared state, then
+        // publish the whole batch's bookkeeping at once. Self-sends
+        // (including ones produced by handlers mid-batch) drain first —
+        // they cost no channel synchronization at all.
+        let mut handled = 0u64;
+        let mut disconnected = false;
+        while handled < MESSAGE_BATCH as u64 {
+            if let Some(env) = st.local.pop_front() {
                 handle_message(actor, st, shared, env);
+                handled += 1;
                 continue;
             }
-            Err(std::sync::mpsc::TryRecvError::Empty) => {}
-            Err(std::sync::mpsc::TryRecvError::Disconnected) => return,
+            match st.rx.try_recv() {
+                Ok(env) => {
+                    handle_message(actor, st, shared, env);
+                    handled += 1;
+                }
+                Err(std::sync::mpsc::TryRecvError::Empty) => break,
+                Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+        retire(st, shared, handled);
+        if disconnected {
+            return;
+        }
+        if handled > 0 {
+            continue;
         }
 
         // Nothing ready here; if nothing is outstanding anywhere, the
@@ -357,17 +483,57 @@ fn worker<M, A: Actor<M>>(actor: &mut A, st: &mut NodeState<M>, shared: &Shared,
             return;
         }
 
-        // Sleep until the next local timer, the phase deadline, or a
-        // park-tick (whichever is first); a message arrival wakes us.
+        // Idle. Wake for the next local timer, the phase deadline, or a
+        // park-tick, whichever is first; a message arrival wakes us early.
+        // When the wake target is an armed timer, approach it in two
+        // steps: sleep until `SPIN_BEFORE_SLEEP_NS` short of it, then spin
+        // (polling the channel) to the due time — `recv_timeout` alone
+        // overshoots by the OS sleep granularity.
         let now = shared.now_ns();
-        let wake = st
-            .next_timer_due()
-            .unwrap_or(u64::MAX)
+        let next_timer = st.timers.next_due().unwrap_or(u64::MAX);
+        let wake = next_timer
             .min(deadline)
             .min(now.saturating_add(MAX_PARK_NS));
+        if shared.spin_allowed
+            && next_timer == wake
+            && next_timer.saturating_sub(now) <= SPIN_BEFORE_SLEEP_NS
+        {
+            let mut iters: u32 = 0;
+            while shared.now_ns() < next_timer {
+                match st.rx.try_recv() {
+                    Ok(env) => {
+                        handle_message(actor, st, shared, env);
+                        retire(st, shared, 1);
+                        break;
+                    }
+                    Err(std::sync::mpsc::TryRecvError::Empty) => {}
+                    Err(std::sync::mpsc::TryRecvError::Disconnected) => return,
+                }
+                iters = iters.wrapping_add(1);
+                if iters.is_multiple_of(SPIN_YIELD_EVERY) {
+                    // Share the core with whoever else needs it.
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            continue;
+        }
         let wait = wake.saturating_sub(now).max(1);
-        match st.rx.recv_timeout(std::time::Duration::from_nanos(wait)) {
-            Ok(env) => handle_message(actor, st, shared, env),
+        let sleep_ns = if shared.spin_allowed && next_timer == wake {
+            // Leave the final approach to the spin phase above.
+            wait.saturating_sub(SPIN_BEFORE_SLEEP_NS).max(1)
+        } else {
+            wait
+        };
+        match st
+            .rx
+            .recv_timeout(std::time::Duration::from_nanos(sleep_ns))
+        {
+            Ok(env) => {
+                handle_message(actor, st, shared, env);
+                retire(st, shared, 1);
+            }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => return,
         }
@@ -415,12 +581,17 @@ impl<M: Send, A: Actor<M> + Send> Runtime<M, A> for ThreadedRuntime<M, A> {
 
     fn with_actor_ctx(&mut self, node: NodeId, f: &mut dyn FnMut(&mut A, &mut Ctx<'_, M>)) {
         let st = &mut self.states[node.idx()];
-        let mut mb = ThreadMailbox {
-            st,
-            shared: &self.shared,
-        };
-        let mut ctx = Ctx::from_mailbox(&mut mb);
-        f(&mut self.actors[node.idx()], &mut ctx)
+        {
+            let mut mb = ThreadMailbox {
+                st,
+                shared: &self.shared,
+            };
+            let mut ctx = Ctx::from_mailbox(&mut mb);
+            f(&mut self.actors[node.idx()], &mut ctx)
+        }
+        // Register injected sends/timers now; the envelopes themselves
+        // stay parked until the next phase's first flush.
+        st.publish_outstanding(&self.shared);
     }
 }
 
@@ -443,6 +614,9 @@ mod tests {
             limit: u64,
             delay_ns: u64,
         },
+        /// Forwards each received payload to `next`, decrementing a
+        /// hop budget carried in the payload's low bits.
+        Relay { next: NodeId, received: u64 },
     }
 
     impl Actor<u64> for TestActor {
@@ -471,6 +645,12 @@ mod tests {
                 }
                 TestActor::Recorder { received } => received.push(msg),
                 TestActor::Ticker { .. } => {}
+                TestActor::Relay { next, received } => {
+                    *received += 1;
+                    if msg > 0 {
+                        ctx.send(*next, verb, msg - 1);
+                    }
+                }
             }
         }
 
@@ -515,7 +695,7 @@ mod tests {
     }
 
     /// Per-link FIFO even when the bounded mailbox overflows into the
-    /// deferred queue: node 1 must observe node 0's payloads in order.
+    /// parked-send queue: node 1 must observe node 0's payloads in order.
     #[test]
     fn per_link_fifo_survives_mailbox_overflow() {
         let n = 500u64;
@@ -529,13 +709,45 @@ mod tests {
                     received: Vec::new(),
                 },
             ],
-            4, // tiny mailbox: most sends park in the deferred queue
+            4, // tiny mailbox: most sends park locally between flushes
         );
         rt.run_to_quiescence(u64::MAX);
         let TestActor::Recorder { received } = &rt.actors()[1] else {
             panic!("node 1 is the recorder");
         };
         assert_eq!(received, &(0..n).collect::<Vec<_>>());
+    }
+
+    /// Quiescence must not be declared while a long message cascade is
+    /// still bouncing between nodes — the batched delta publication may
+    /// never let the outstanding count dip to zero mid-cascade.
+    #[test]
+    fn quiescence_waits_for_chained_cascades() {
+        let hops = 10_000u64;
+        let mut rt = ThreadedRuntime::new(vec![
+            TestActor::Relay {
+                next: NodeId(1),
+                received: 0,
+            },
+            TestActor::Relay {
+                next: NodeId(0),
+                received: 0,
+            },
+        ]);
+        // Kick off one cascade of `hops` forwards from outside.
+        rt.with_actor_ctx(NodeId(0), &mut |_a, ctx| {
+            ctx.send(NodeId(1), Verb::OneSided, hops - 1);
+        });
+        rt.run_to_quiescence(u64::MAX);
+        let total: u64 = rt
+            .actors()
+            .iter()
+            .map(|a| match a {
+                TestActor::Relay { received, .. } => *received,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(total, hops, "cascade cut short by premature quiescence");
     }
 
     #[test]

@@ -15,11 +15,11 @@ use chiller_common::ids::OpId;
 /// Precomputed dependency structure of a procedure.
 #[derive(Debug, Clone, Default)]
 pub struct DepGraph {
-    /// pk_children[i] = ops whose *key* depends on op i's output.
+    /// `pk_children[i]` = ops whose *key* depends on op i's output.
     pub pk_children: Vec<Vec<OpId>>,
-    /// pk_parents[i] = ops whose output op i's *key* needs.
+    /// `pk_parents[i]` = ops whose output op i's *key* needs.
     pub pk_parents: Vec<Vec<OpId>>,
-    /// v_parents[i] = ops whose output op i's *values* need.
+    /// `v_parents[i]` = ops whose output op i's *values* need.
     pub v_parents: Vec<Vec<OpId>>,
     /// A topological order of ops respecting pk-deps ∪ v-deps. Because
     /// validation requires references to point backwards, the natural order

@@ -1,0 +1,120 @@
+//! Post-quiescence serializability invariants for TPC-C clusters.
+//!
+//! Black-box checks in the spirit of Huang et al.'s snapshot-isolation
+//! checking: instead of validating a history, they validate conservation
+//! laws the workload's stored procedures maintain under any serializable
+//! interleaving — a lost update, double-applied write, phantom order id
+//! or leaked lock anywhere in the protocol/runtime stack breaks one of
+//! them. Shared by the simulator parity suites and the threaded TPC-C
+//! bench (`fig9_tpcc_threaded`), where a passing drain is the stress
+//! certificate for the run that produced the numbers.
+
+use super::gen::TpccConfig;
+use super::procs::{C_YTD_PAYMENT, D_LAST_DELIVERED, D_NEXT_O_ID, D_YTD, W_YTD};
+use super::schema::tables;
+use chiller::prelude::*;
+
+/// Sum a column of a table across every primary partition.
+fn sum_f64(cluster: &Cluster, table: TableId, col: usize) -> f64 {
+    cluster
+        .engines()
+        .iter()
+        .flat_map(|e| e.store().table(table).iter())
+        .map(|(_, row)| row[col].as_f64())
+        .sum()
+}
+
+fn count_rows(cluster: &Cluster, table: TableId) -> u64 {
+    cluster
+        .engines()
+        .iter()
+        .map(|e| e.store().table(table).num_records() as u64)
+        .sum()
+}
+
+/// Assert the TPC-C serializability contract on a quiesced cluster.
+///
+/// * **Money conservation** — every committed Payment adds the same
+///   amount to one warehouse's `w_ytd`, its district's `d_ytd`, and the
+///   customer's `c_ytd_payment`, so the three ledgers' deltas from the
+///   initial load must agree exactly.
+/// * **Order-id integrity** — each committed NewOrder consumes one
+///   `d_next_o_id` and inserts exactly one ORDER row under it, so total
+///   ORDER rows must equal the summed district counters; a lost counter
+///   update or double-applied insert breaks the equality.
+/// * **Delivery pipeline** — NEW_ORDER rows are created by NewOrder and
+///   consumed by Delivery, so their count must equal the summed
+///   undelivered window `d_next_o_id - 1 - d_last_delivered`.
+/// * **Runtime hygiene** — no leaked locks, no zombie transactions, zero
+///   replica divergence.
+///
+/// Panics with `label` in the message on any violation. The cluster must
+/// already be quiesced (see `Cluster::quiesce`).
+pub fn assert_tpcc_invariants(cluster: &Cluster, cfg: &TpccConfig, label: &str) {
+    let w = cfg.warehouses as f64;
+    let customers = (cfg.warehouses * 10 * cfg.customers_per_district) as f64;
+
+    // Ledger deltas from the loaded state (see gen.rs for the initials).
+    let w_delta = sum_f64(cluster, tables::WAREHOUSE, W_YTD) - w * 300_000.0;
+    let d_delta = sum_f64(cluster, tables::DISTRICT, D_YTD) - w * 10.0 * 30_000.0;
+    let c_delta = sum_f64(cluster, tables::CUSTOMER, C_YTD_PAYMENT) - customers * 10.0;
+    assert!(
+        (w_delta - d_delta).abs() < 1.0 && (w_delta - c_delta).abs() < 1.0,
+        "{label}: payment ledgers diverged — warehouse +{w_delta:.2}, \
+         district +{d_delta:.2}, customer +{c_delta:.2}"
+    );
+    assert!(
+        w_delta >= 0.0,
+        "{label}: warehouse YTD shrank ({w_delta:.2})"
+    );
+
+    // District counters vs materialized orders.
+    let districts: Vec<(i64, i64)> = cluster
+        .engines()
+        .iter()
+        .flat_map(|e| e.store().table(tables::DISTRICT).iter())
+        .map(|(_, row)| (row[D_NEXT_O_ID].as_i64(), row[D_LAST_DELIVERED].as_i64()))
+        .collect();
+    assert_eq!(
+        districts.len() as u64,
+        cfg.warehouses * 10,
+        "{label}: district rows lost"
+    );
+    let orders_by_counter: i64 = districts.iter().map(|(next, _)| next - 1).sum();
+    let undelivered_by_counter: i64 = districts
+        .iter()
+        .map(|(next, last)| {
+            assert!(
+                last < next,
+                "{label}: d_last_delivered {last} passed d_next_o_id {next}"
+            );
+            next - 1 - last
+        })
+        .sum();
+    assert_eq!(
+        count_rows(cluster, tables::ORDER) as i64,
+        orders_by_counter,
+        "{label}: ORDER rows disagree with district o_id counters \
+         (lost counter update or double-applied insert)"
+    );
+    assert_eq!(
+        count_rows(cluster, tables::NEW_ORDER) as i64,
+        undelivered_by_counter,
+        "{label}: NEW_ORDER rows disagree with the undelivered window"
+    );
+
+    // Runtime hygiene: nothing held, nothing half-done, replicas agree.
+    for engine in cluster.engines() {
+        assert!(
+            engine.store().all_locks_free(),
+            "{label}: leaked locks on node {}",
+            engine.store().partition
+        );
+        assert_eq!(engine.open_txns(), 0, "{label}: zombie transactions");
+    }
+    assert_eq!(
+        cluster.replica_divergence(),
+        0,
+        "{label}: replicas diverged"
+    );
+}

@@ -27,14 +27,16 @@
 //!   rows, which are kept 1:1 with the spec.
 
 pub mod gen;
+pub mod invariants;
 pub mod procs;
 pub mod schema;
 pub mod source;
 
 pub use gen::{load_tpcc, TpccConfig};
+pub use invariants::assert_tpcc_invariants;
 pub use procs::{register_procs, TpccProcs};
 pub use schema::{keys, tables, tpcc_schema, TpccPlacement};
-pub use source::{build_tpcc_cluster, TpccMix, TpccSource};
+pub use source::{build_tpcc_cluster, build_tpcc_cluster_on, TpccMix, TpccSource};
 
 use chiller_common::ids::RecordId;
 

@@ -22,13 +22,13 @@ use chiller_common::ids::OpId;
 use chiller_common::value::Value;
 use chiller_sproc::{Procedure, ProcedureBuilder};
 
-// Column indices.
-const W_YTD: usize = 2;
-const D_YTD: usize = 3;
-const D_NEXT_O_ID: usize = 4;
-const D_LAST_DELIVERED: usize = 5;
+// Column indices (shared with the invariant checks in `invariants.rs`).
+pub(crate) const W_YTD: usize = 2;
+pub(crate) const D_YTD: usize = 3;
+pub(crate) const D_NEXT_O_ID: usize = 4;
+pub(crate) const D_LAST_DELIVERED: usize = 5;
 const C_BALANCE: usize = 3;
-const C_YTD_PAYMENT: usize = 4;
+pub(crate) const C_YTD_PAYMENT: usize = 4;
 const C_PAYMENT_CNT: usize = 5;
 const C_DELIVERY_CNT: usize = 6;
 const O_C_ID: usize = 1;

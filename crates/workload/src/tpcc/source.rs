@@ -231,12 +231,28 @@ impl InputSource for TpccSource {
 
 /// Build a TPC-C cluster: one warehouse per node (the paper's §7.3
 /// deployment), warehouse placement, hot district/warehouse rows for
-/// Chiller's lookup table.
+/// Chiller's lookup table. Runs on the deterministic simulator; see
+/// [`build_tpcc_cluster_on`] for an explicit backend.
 pub fn build_tpcc_cluster(
     cfg: &TpccConfig,
     mix: TpccMix,
     protocol: Protocol,
     sim: SimConfig,
+) -> Cluster {
+    build_tpcc_cluster_on(cfg, mix, protocol, sim, Backend::Simulated)
+}
+
+/// Build a TPC-C cluster on an explicit execution backend — identical
+/// schema, placement, procedures and sources either way, so the
+/// simulated Figure 9 and its threaded wall-clock companion are directly
+/// comparable. On [`Backend::Threaded`] each warehouse's engine (and its
+/// input source) runs on its own OS thread.
+pub fn build_tpcc_cluster_on(
+    cfg: &TpccConfig,
+    mix: TpccMix,
+    protocol: Protocol,
+    sim: SimConfig,
+    backend: Backend,
 ) -> Cluster {
     assert_eq!(
         cfg.warehouses as usize as u64, cfg.warehouses,
@@ -248,6 +264,7 @@ pub fn build_tpcc_cluster(
     builder
         .protocol(protocol)
         .config(sim)
+        .runtime(backend)
         .placement(Arc::new(TpccPlacement::new(nodes as u32)))
         .hot_records(super::hot_records(cfg))
         .load(load_tpcc(cfg));

@@ -10,6 +10,8 @@
 
 use chiller::cluster::RunSpec;
 use chiller::prelude::*;
+use chiller_common::ids::NodeId;
+use chiller_simnet::{Actor, Ctx, Runtime, ThreadedRuntime, Verb};
 use chiller_workload::transfer::{
     assert_serializability_invariants, build_cluster_on, TransferConfig,
 };
@@ -76,6 +78,123 @@ fn threaded_reports_are_labelled_and_wall_clocked() {
     assert!(
         report.wall_throughput() > 0.0,
         "wall throughput must be measurable"
+    );
+}
+
+/// Raw-runtime stress actor: floods every peer with sequenced payloads at
+/// start and records arrivals per source, so per-link FIFO can be checked
+/// exactly after the run.
+struct Flood {
+    nodes: usize,
+    per_link: u64,
+    /// `seen[src]` = payloads received from `src`, in arrival order.
+    seen: Vec<Vec<u64>>,
+}
+
+impl Actor<u64> for Flood {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+        let me = ctx.node().idx();
+        for dst in 0..self.nodes {
+            if dst == me {
+                continue;
+            }
+            for i in 0..self.per_link {
+                ctx.send(NodeId(dst as u32), Verb::OneSided, i);
+            }
+        }
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, u64>, src: NodeId, _verb: Verb, msg: u64) {
+        self.seen[src.idx()].push(msg);
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, u64>, _token: u64) {}
+}
+
+/// Batched-draining regression: an all-pairs flood through tiny mailboxes
+/// forces every hot-path mechanism at once — channel overflow into the
+/// parked-send queues, per-batch flushes, interleaved drains on every
+/// worker — and per-link FIFO must still hold exactly: each node sees each
+/// peer's payloads complete and in send order.
+#[test]
+fn batched_draining_preserves_per_link_fifo_under_flood() {
+    let per_link = 2_000u64;
+    let actors: Vec<Flood> = (0..NODES)
+        .map(|_| Flood {
+            nodes: NODES,
+            per_link,
+            seen: (0..NODES).map(|_| Vec::new()).collect(),
+        })
+        .collect();
+    // Capacity 8 guarantees most sends overflow into the parked queues.
+    let mut rt = ThreadedRuntime::with_mailbox_capacity(actors, 8);
+    rt.run_to_quiescence(u64::MAX);
+    let expect: Vec<u64> = (0..per_link).collect();
+    for (n, actor) in rt.actors().iter().enumerate() {
+        for (src, seen) in actor.seen.iter().enumerate() {
+            if src == n {
+                assert!(seen.is_empty(), "node {n} got messages from itself");
+                continue;
+            }
+            assert_eq!(
+                seen, &expect,
+                "link {src}->{n}: payloads lost or reordered under batching"
+            );
+        }
+    }
+    let stats = rt.stats();
+    let links = (NODES * (NODES - 1)) as u64;
+    assert_eq!(stats.events_processed, links * per_link);
+}
+
+/// Ring-relay actor for quiescence stress: forwards each payload (a hop
+/// countdown) to the next node in the ring.
+struct Ring {
+    next: NodeId,
+    relayed: u64,
+}
+
+impl Actor<u64> for Ring {
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, u64>) {}
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, _src: NodeId, verb: Verb, msg: u64) {
+        self.relayed += 1;
+        if msg > 0 {
+            ctx.send(self.next, verb, msg - 1);
+        }
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, u64>, _token: u64) {}
+}
+
+/// Quiescence-detection regression: with batched bookkeeping the
+/// outstanding-work counter is published per batch, not per event; long
+/// concurrent relay cascades must still run to completion — an early
+/// quiescence verdict would cut a cascade short and break the hop count.
+#[test]
+fn quiescence_detection_survives_batching() {
+    let cascades = 8u64;
+    let hops = 5_000u64;
+    let actors: Vec<Ring> = (0..NODES)
+        .map(|n| Ring {
+            next: NodeId(((n + 1) % NODES) as u32),
+            relayed: 0,
+        })
+        .collect();
+    let mut rt = ThreadedRuntime::new(actors);
+    // Seed the cascades from the control plane, spread around the ring.
+    for c in 0..cascades {
+        rt.with_actor_ctx(NodeId((c % NODES as u64) as u32), &mut |_a, ctx| {
+            let next = NodeId(((ctx.node().idx() + 1) % NODES) as u32);
+            ctx.send(next, Verb::OneSided, hops - 1);
+        });
+    }
+    rt.run_to_quiescence(u64::MAX);
+    let total: u64 = rt.actors().iter().map(|a| a.relayed).sum();
+    assert_eq!(
+        total,
+        cascades * hops,
+        "a cascade was cut short by a premature quiescence verdict"
     );
 }
 
