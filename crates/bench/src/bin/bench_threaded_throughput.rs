@@ -1,6 +1,6 @@
 //! **Threaded throughput**: real wall-clock transactions per second, per
 //! protocol, on the multi-threaded backend — one OS thread per engine,
-//! bounded mailboxes, no modelled latencies.
+//! lock-free ring (or channel) mailboxes, no modelled latencies.
 //!
 //! This is the repo's hardware-measurement path: the simulator numbers in
 //! the other experiments are *virtual* throughput under the paper's
@@ -9,21 +9,33 @@
 //! Both numbers are printed side by side so the sim-as-oracle /
 //! threads-as-benchmark split stays visible.
 //!
+//! Each protocol runs a full **A/B matrix** — mailbox implementation
+//! (lock-free `ring` vs the `channel` fallback) × core pinning (`pinned`
+//! vs `unpinned`) — with the median of several runs per point (the
+//! DESIGN.md §10 methodology; single runs swing ±10% on shared hosts).
+//! Every row also records the host parallelism the point detected, so
+//! numbers taken on a 1-core container are never mistaken for multi-core
+//! medians. The `pinned` column reports what *actually happened*
+//! (`RunReport::pinned`): where `sched_setaffinity` is unavailable the
+//! pinned rows honestly degrade to `no`.
+//!
 //! After each threaded run the cluster is drained and the serializability
 //! invariants are enforced (balance conservation, no leaked locks, zero
 //! replica divergence): a violation aborts the binary, so a passing run
-//! *is* the stress certificate.
+//! *is* the stress certificate — for both mailbox implementations.
 //!
-//! Env knobs: `CHILLER_SMOKE=1` shrinks the windows for CI;
-//! `CHILLER_NODES=<n>` overrides the engine/thread count (default 4,
-//! the paper-parity cluster size; minimum 4 — the acceptance bar for
-//! this bench is real parallelism, not a degenerate 1–3 thread run).
+//! Env knobs: `CHILLER_SMOKE=1` shrinks the windows and runs one
+//! repetition for CI; `CHILLER_NODES=<n>` overrides the engine/thread
+//! count (default 4, the paper-parity cluster size; minimum 4 — the
+//! acceptance bar for this bench is real parallelism, not a degenerate
+//! 1–3 thread run); `CHILLER_RUNS=<n>` overrides the repetitions per
+//! matrix point (default 5).
 
 use chiller::cluster::RunSpec;
 use chiller::prelude::*;
 use chiller_bench::{emit, ktps, ratio};
 use chiller_workload::transfer::{
-    assert_serializability_invariants, build_cluster_on, TransferConfig,
+    assert_serializability_invariants, build_cluster_tuned, TransferConfig,
 };
 
 fn workload() -> TransferConfig {
@@ -43,16 +55,78 @@ fn sim_config(concurrency: usize) -> SimConfig {
     sim
 }
 
+/// One matrix point's median outcome.
 struct Point {
+    mailbox: MailboxKind,
+    /// Whether the pinned runs actually pinned (all-or-nothing per point).
+    pinned: bool,
     threaded_tps: f64,
-    sim_tps: f64,
+    /// (max − min) / median across the point's runs, as a percentage.
+    spread_pct: f64,
     abort_rate: f64,
     commits: u64,
 }
 
-fn verify_invariants(cluster: &mut Cluster, cfg: &TransferConfig, protocol: Protocol) {
+fn verify_invariants(cluster: &mut Cluster, cfg: &TransferConfig, label: &str) {
     cluster.quiesce();
-    assert_serializability_invariants(cluster, cfg, &protocol.to_string());
+    assert_serializability_invariants(cluster, cfg, label);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_point(
+    cfg: &TransferConfig,
+    nodes: usize,
+    concurrency: usize,
+    protocol: Protocol,
+    mailbox: MailboxKind,
+    pin: PinPolicy,
+    runs: usize,
+    warm_ms: u64,
+    measure_ms: u64,
+) -> Point {
+    // (wall tps, abort rate, commits) per run; the whole row comes from
+    // the median-throughput run so its columns stay mutually consistent
+    // (commits / measure_ms must agree with threaded_ktps).
+    let mut samples: Vec<(f64, f64, u64)> = Vec::with_capacity(runs);
+    let mut pinned = pin == PinPolicy::Cores;
+    for _ in 0..runs {
+        let mut cluster = build_cluster_tuned(
+            cfg,
+            nodes,
+            protocol,
+            sim_config(concurrency),
+            Backend::Threaded,
+            Some(mailbox),
+            Some(pin),
+        );
+        let report = cluster.run(RunSpec::millis(warm_ms, measure_ms));
+        verify_invariants(
+            &mut cluster,
+            cfg,
+            &format!("{protocol} ({mailbox} mailbox, pin {pin:?})"),
+        );
+        pinned &= report.pinned;
+        samples.push((
+            report.wall_throughput(),
+            report.abort_rate(),
+            report.total_commits(),
+        ));
+    }
+    samples.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let (med, abort_rate, commits) = samples[samples.len() / 2];
+    let spread = if med > 0.0 {
+        (samples[samples.len() - 1].0 - samples[0].0) / med * 100.0
+    } else {
+        0.0
+    };
+    Point {
+        mailbox,
+        pinned,
+        threaded_tps: med,
+        spread_pct: spread,
+        abort_rate,
+        commits,
+    }
 }
 
 fn main() {
@@ -62,63 +136,89 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(4);
     assert!(nodes >= 4, "the threaded bench needs >= 4 engine threads");
+    let runs: usize = std::env::var("CHILLER_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 1 } else { 5 });
+    assert!(runs >= 1);
     let concurrency = 4;
     let (warm_ms, measure_ms) = if smoke { (30, 150) } else { (200, 1_000) };
+    let cores = std::thread::available_parallelism().map_or(0, |p| p.get());
     let cfg = workload();
 
+    let matrix = [
+        (MailboxKind::Ring, PinPolicy::Off),
+        (MailboxKind::Ring, PinPolicy::Cores),
+        (MailboxKind::Channel, PinPolicy::Off),
+        (MailboxKind::Channel, PinPolicy::Cores),
+    ];
     let protocols = [Protocol::Chiller, Protocol::TwoPhaseLocking, Protocol::Occ];
     let mut rows = Vec::new();
-    let mut points = Vec::new();
+    let mut ring_vs_channel: Vec<(Protocol, f64, f64)> = Vec::new();
     for protocol in protocols {
-        // Real threads: wall-clock window, invariants enforced at drain.
-        let mut threaded = build_cluster_on(
-            &cfg,
-            nodes,
-            protocol,
-            sim_config(concurrency),
-            Backend::Threaded,
-        );
-        let t_report = threaded.run(RunSpec::millis(warm_ms, measure_ms));
-        verify_invariants(&mut threaded, &cfg, protocol);
-
-        // Same cluster on the simulator: virtual throughput for reference
-        // (short window — the cost model, not the host, sets the rate).
-        let mut sim = build_cluster_on(
+        // Simulated reference once per protocol: virtual throughput under
+        // the paper's cost model (short window — the model, not the host,
+        // sets the rate).
+        let mut sim = build_cluster_tuned(
             &cfg,
             nodes,
             protocol,
             sim_config(concurrency),
             Backend::Simulated,
+            None,
+            None,
         );
-        let s_report = sim.run(RunSpec::millis(2, 20));
+        let sim_tps = sim.run(RunSpec::millis(2, 20)).throughput();
 
-        let p = Point {
-            threaded_tps: t_report.wall_throughput(),
-            sim_tps: s_report.throughput(),
-            abort_rate: t_report.abort_rate(),
-            commits: t_report.total_commits(),
-        };
-        rows.push(vec![
-            protocol.to_string(),
-            ktps(p.threaded_tps),
-            ktps(p.sim_tps),
-            ratio(p.abort_rate),
-            p.commits.to_string(),
-        ]);
-        points.push((protocol, p));
+        let mut best_ring = 0f64;
+        let mut best_channel = 0f64;
+        for (mailbox, pin) in matrix {
+            let p = run_point(
+                &cfg,
+                nodes,
+                concurrency,
+                protocol,
+                mailbox,
+                pin,
+                runs,
+                warm_ms,
+                measure_ms,
+            );
+            match p.mailbox {
+                MailboxKind::Ring => best_ring = best_ring.max(p.threaded_tps),
+                MailboxKind::Channel => best_channel = best_channel.max(p.threaded_tps),
+            }
+            rows.push(vec![
+                protocol.to_string(),
+                p.mailbox.to_string(),
+                if p.pinned { "yes" } else { "no" }.to_string(),
+                cores.to_string(),
+                ktps(p.threaded_tps),
+                format!("{:.1}", p.spread_pct),
+                ktps(sim_tps),
+                ratio(p.abort_rate),
+                p.commits.to_string(),
+            ]);
+        }
+        ring_vs_channel.push((protocol, best_ring, best_channel));
     }
 
-    let best = points
+    let (best_proto, best_ring, best_channel) = ring_vs_channel
         .iter()
-        .max_by(|a, b| a.1.threaded_tps.total_cmp(&b.1.threaded_tps))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|(p, r, c)| (*p, *r, *c))
         .expect("three protocols ran");
     emit(
         "threaded_throughput",
-        "Wall-clock throughput: threaded backend vs simulated reference (K txns/s)",
+        "Wall-clock throughput A/B: mailbox (ring vs channel) x pinning, medians per point (K txns/s)",
         Backend::Threaded,
         &[
             "protocol",
+            "mailbox",
+            "pinned",
+            "cores",
             "threaded_ktps",
+            "spread_pct",
             "sim_ktps",
             "abort_rate",
             "commits",
@@ -128,11 +228,24 @@ fn main() {
             ("threads", nodes.to_string()),
             ("concurrency_per_engine", concurrency.to_string()),
             ("measure_ms", measure_ms.to_string()),
+            ("runs_per_point", runs.to_string()),
+            ("detected_parallelism", cores.to_string()),
             (
-                "best_threaded",
-                format!("{} at {} Ktps", best.0, ktps(best.1.threaded_tps)),
+                "variance_note",
+                format!(
+                    "threaded_ktps is the median of {runs} runs; spread_pct = (max-min)/median \
+                     per point — single runs on shared hosts swing ~10%"
+                ),
+            ),
+            (
+                "best_ring_vs_channel",
+                format!(
+                    "{best_proto}: ring {} vs channel {} Ktps",
+                    ktps(best_ring),
+                    ktps(best_channel)
+                ),
             ),
         ],
     );
-    println!("invariants: balance conserved, no leaked locks, zero replica divergence");
+    println!("invariants: balance conserved, no leaked locks, zero replica divergence (all matrix points)");
 }

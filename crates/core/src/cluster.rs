@@ -2,7 +2,7 @@
 //! drives online adaptation (monitor drain → replan → migration injection).
 
 use chiller_adaptive::{AdaptiveConfig, AdaptivePlanner, Directory, MigrationPlan};
-use chiller_cc::engine::{EngineActor, EngineParams, HotSet};
+use chiller_cc::engine::{EngineActor, EngineParams, HotSet, StagedRows};
 use chiller_cc::input::{InputSource, ProcRegistry};
 use chiller_cc::msg::Msg;
 use chiller_cc::Protocol;
@@ -11,7 +11,10 @@ use chiller_common::error::{ChillerError, Result};
 use chiller_common::ids::{NodeId, PartitionId, RecordId};
 use chiller_common::time::{Duration, SimTime};
 use chiller_common::value::Row;
-use chiller_simnet::{Backend, Ctx, Runtime, Simulation, ThreadedRuntime};
+use chiller_simnet::{
+    Backend, Ctx, MailboxKind, PinPolicy, Runtime, Simulation, ThreadedConfig, ThreadedRuntime,
+    DEFAULT_MAILBOX_CAPACITY,
+};
 use chiller_sproc::Procedure;
 use chiller_storage::placement::{HashPlacement, Placement};
 use chiller_storage::schema::Schema;
@@ -76,6 +79,8 @@ pub struct ClusterBuilder {
     source_factory: Option<SourceFactory>,
     adaptive: Option<AdaptiveConfig>,
     backend: Backend,
+    mailbox: Option<MailboxKind>,
+    pin: Option<PinPolicy>,
 }
 
 impl ClusterBuilder {
@@ -98,6 +103,8 @@ impl ClusterBuilder {
             source_factory: None,
             adaptive: None,
             backend: Backend::Simulated,
+            mailbox: None,
+            pin: None,
         }
     }
 
@@ -107,6 +114,28 @@ impl ClusterBuilder {
     /// either way.
     pub fn runtime(&mut self, b: Backend) -> &mut Self {
         self.backend = b;
+        self
+    }
+
+    /// Select the threaded backend's mailbox implementation (lock-free
+    /// rings vs the `sync_channel` fallback). Defaults to the
+    /// `CHILLER_MAILBOX` environment knob (ring when unset); ignored by
+    /// the simulated backend.
+    pub fn mailbox(&mut self, kind: MailboxKind) -> &mut Self {
+        self.mailbox = Some(kind);
+        self
+    }
+
+    /// Select the threaded backend's core-pinning policy. With
+    /// [`PinPolicy::Cores`] every engine thread pins itself to one
+    /// allowed CPU before `on_start`, and the cluster's initial rows are
+    /// loaded *by the pinned engine threads* (first-touch NUMA locality)
+    /// instead of eagerly by this builder. Defaults to the `CHILLER_PIN`
+    /// environment knob (off when unset); ignored by the simulated
+    /// backend, and degrades to unpinned (reported via
+    /// `RunReport::pinned`) where `sched_setaffinity` is unavailable.
+    pub fn pin_threads(&mut self, policy: PinPolicy) -> &mut Self {
+        self.pin = Some(policy);
         self
     }
 
@@ -258,6 +287,17 @@ impl ClusterBuilder {
             })
             .collect();
 
+        // Threaded-backend tuning knobs resolve builder overrides first,
+        // then the environment (`CHILLER_MAILBOX` / `CHILLER_PIN`).
+        let mailbox = self.mailbox.unwrap_or_else(MailboxKind::from_env);
+        let pin = self.pin.unwrap_or_else(PinPolicy::from_env);
+
+        // With core pinning on the threaded backend, defer the initial
+        // loads to each engine's `on_start`: it runs on the already-pinned
+        // worker thread, so the first touch of every row lands on that
+        // core's NUMA node. Everywhere else, load eagerly as before.
+        let stage_on_start = self.backend == Backend::Threaded && pin == PinPolicy::Cores;
+        let mut staged: Vec<StagedRows> = (0..self.nodes).map(|_| StagedRows::default()).collect();
         for (rid, row) in self.records {
             let p = placement.partition_of(rid);
             if p.idx() >= self.nodes {
@@ -266,13 +306,21 @@ impl ClusterBuilder {
                     self.nodes
                 )));
             }
-            primaries[p.idx()].load(rid, row.clone());
+            if stage_on_start {
+                staged[p.idx()].primary.push((rid, row.clone()));
+            } else {
+                primaries[p.idx()].load(rid, row.clone());
+            }
             for i in 1..=replica_count {
                 let replica_node = (p.idx() + i) % self.nodes;
-                replicas[replica_node]
-                    .get_mut(&p)
-                    .expect("replica store allocated")
-                    .load(rid, row.clone());
+                if stage_on_start {
+                    staged[replica_node].replicas.push((p, rid, row.clone()));
+                } else {
+                    replicas[replica_node]
+                        .get_mut(&p)
+                        .expect("replica store allocated")
+                        .load(rid, row.clone());
+                }
             }
         }
 
@@ -299,13 +347,21 @@ impl ClusterBuilder {
                 replicas: reps,
                 source: source_factory(node),
                 monitor,
+                staged: std::mem::take(&mut staged[n]),
             }));
         }
         let rt: Box<dyn Runtime<Msg, EngineActor>> = match self.backend {
             Backend::Simulated => Box::new(Simulation::new(actors, self.config.network.clone())),
             // The threaded backend has no modelled network: latency is
-            // whatever the host's channels and scheduler deliver.
-            Backend::Threaded => Box::new(ThreadedRuntime::new(actors)),
+            // whatever the host's mailboxes and scheduler deliver.
+            Backend::Threaded => Box::new(ThreadedRuntime::with_config(
+                actors,
+                ThreadedConfig {
+                    capacity: DEFAULT_MAILBOX_CAPACITY,
+                    mailbox,
+                    pin,
+                },
+            )),
         };
         Ok(Cluster { rt, adaptive })
     }
@@ -400,6 +456,7 @@ impl Cluster {
             self.rt.backend(),
             elapsed,
             wall,
+            self.rt.pinned(),
             self.rt.stats(),
             self.rt.actors().iter().map(EngineActor::report).collect(),
         )

@@ -18,6 +18,13 @@ pub struct RunReport {
     /// backend this tracks `elapsed`; on the simulator it is the host
     /// time spent computing the virtual window.
     pub wall_elapsed: std::time::Duration,
+    /// Whether the engine threads were pinned to CPU cores during this
+    /// run (threaded backend with an active `PinPolicy` and a successful
+    /// `sched_setaffinity` on every worker). Always false on the
+    /// simulator, and false when pinning was requested but unavailable
+    /// (non-Linux, restricted cpusets) — so A/B rows labelled from this
+    /// field are honest about what actually ran.
+    pub pinned: bool,
     /// Merged metrics across engines.
     pub metrics: MetricSet,
     /// Network counters for the whole run (including warm-up).
@@ -31,6 +38,7 @@ impl RunReport {
         backend: Backend,
         elapsed: Duration,
         wall_elapsed: std::time::Duration,
+        pinned: bool,
         net: NetStats,
         per_node: Vec<EngineReport>,
     ) -> RunReport {
@@ -42,6 +50,7 @@ impl RunReport {
             backend,
             elapsed,
             wall_elapsed,
+            pinned,
             metrics,
             net,
             per_node,

@@ -1,0 +1,134 @@
+//! Property tests for the ring queues' slot protocols: model-check an
+//! arbitrary push/pop interleaving against a `VecDeque` reference, across
+//! capacities (including 1), and across ticket-counter start points
+//! including values near `usize::MAX` so the wrapping arithmetic is driven
+//! through overflow mid-test (the "wraparound" half of the seqlock slot
+//! protocol; the full/empty boundary is the other half — both are hit on
+//! every case by the tiny capacities).
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// One step of the interleaving: push a value or pop one.
+#[derive(Debug, Clone, PartialEq)]
+enum Op {
+    Push(u64),
+    Pop,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![(0u64..1_000_000).prop_map(Op::Push), Just(Op::Pop)],
+        1..200,
+    )
+}
+
+/// Start points for the internal indices: zero, mid-range, and values
+/// close enough to `usize::MAX` that a short test overflows them.
+fn starts() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        Just(0usize),
+        Just(usize::MAX - 3),
+        Just(usize::MAX),
+        0usize..10_000,
+        (0usize..200).prop_map(|d| usize::MAX - d),
+    ]
+}
+
+proptest! {
+    /// The MPSC ring, used single-threaded, behaves exactly like a
+    /// bounded `VecDeque`: same accept/reject on push (full boundary),
+    /// same values in the same order on pop (empty boundary), for every
+    /// capacity and start index.
+    #[test]
+    fn mpsc_matches_bounded_deque_model(
+        cap in 1usize..9,
+        start in starts(),
+        script in ops(),
+    ) {
+        let (tx, mut rx) = ringq::mpsc::bounded_at::<u64>(cap, start);
+        let real_cap = tx.capacity();
+        prop_assert!(real_cap >= cap && real_cap.is_power_of_two());
+        let mut model: VecDeque<u64> = VecDeque::new();
+        for op in &script {
+            match *op {
+                Op::Push(v) => {
+                    let accepted = tx.push(v).is_ok();
+                    let model_accepts = model.len() < real_cap;
+                    prop_assert_eq!(
+                        accepted, model_accepts,
+                        "full-boundary disagreement at len {}", model.len()
+                    );
+                    if accepted {
+                        model.push_back(v);
+                    }
+                }
+                Op::Pop => {
+                    prop_assert_eq!(rx.pop(), model.pop_front());
+                }
+            }
+            prop_assert_eq!(rx.len(), model.len());
+            prop_assert_eq!(rx.has_ready(), !model.is_empty());
+        }
+        // Drain: every remaining value comes out in order, then empty forever.
+        while let Some(expect) = model.pop_front() {
+            prop_assert_eq!(rx.pop(), Some(expect));
+        }
+        prop_assert_eq!(rx.pop(), None);
+        prop_assert!(rx.is_empty());
+    }
+
+    /// Same model equivalence for the SPSC ring.
+    #[test]
+    fn spsc_matches_bounded_deque_model(
+        cap in 1usize..9,
+        start in starts(),
+        script in ops(),
+    ) {
+        let (mut tx, mut rx) = ringq::spsc::bounded_at::<u64>(cap, start);
+        let real_cap = tx.capacity();
+        prop_assert!(real_cap >= cap && real_cap.is_power_of_two());
+        let mut model: VecDeque<u64> = VecDeque::new();
+        for op in &script {
+            match *op {
+                Op::Push(v) => {
+                    let accepted = tx.push(v).is_ok();
+                    prop_assert_eq!(accepted, model.len() < real_cap);
+                    if accepted {
+                        model.push_back(v);
+                    }
+                }
+                Op::Pop => {
+                    prop_assert_eq!(rx.pop(), model.pop_front());
+                }
+            }
+            prop_assert_eq!(rx.len(), model.len());
+        }
+        while let Some(expect) = model.pop_front() {
+            prop_assert_eq!(rx.pop(), Some(expect));
+        }
+        prop_assert_eq!(rx.pop(), None);
+    }
+
+    /// Laps around a tiny ring from a near-overflow start: the sequence
+    /// slots must keep handing each ticket the right slot across the
+    /// `usize` wrap (this is the test that fails if slot mapping used
+    /// non-power-of-two modulo arithmetic).
+    #[test]
+    fn mpsc_wraparound_laps_stay_fifo(cap in 1usize..5, laps in 1u64..50) {
+        let (tx, mut rx) = ringq::mpsc::bounded_at::<u64>(cap, usize::MAX - 2);
+        let real_cap = tx.capacity() as u64;
+        let mut next = 0u64;
+        for lap in 0..laps {
+            for i in 0..real_cap {
+                prop_assert!(tx.push(lap * real_cap + i).is_ok());
+            }
+            prop_assert!(tx.push(u64::MAX).is_err(), "lap-full boundary missed");
+            for _ in 0..real_cap {
+                prop_assert_eq!(rx.pop(), Some(next));
+                next += 1;
+            }
+            prop_assert_eq!(rx.pop(), None);
+        }
+    }
+}

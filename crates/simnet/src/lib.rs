@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod affinity;
 pub mod runtime;
 pub mod sim;
 pub mod threaded;
@@ -28,5 +29,7 @@ pub mod timer_wheel;
 
 pub use runtime::{Actor, Backend, Clock, Ctx, Mailbox, NetStats, Runtime, Verb};
 pub use sim::Simulation;
-pub use threaded::{ThreadedRuntime, DEFAULT_MAILBOX_CAPACITY};
+pub use threaded::{
+    MailboxKind, PinPolicy, ThreadedConfig, ThreadedRuntime, DEFAULT_MAILBOX_CAPACITY,
+};
 pub use timer_wheel::TimerWheel;

@@ -251,6 +251,14 @@ pub trait Runtime<M, A: Actor<M>>: Clock {
     /// Returns the number of events processed.
     fn run_to_quiescence(&mut self, max_events: u64) -> u64;
 
+    /// Whether this runtime's worker threads are pinned to CPU cores.
+    /// Always false on the simulator (there are no worker threads); the
+    /// threaded backend reports true once a phase has run with an active
+    /// pin policy and no `sched_setaffinity` failure.
+    fn pinned(&self) -> bool {
+        false
+    }
+
     /// Run `f` against one actor with a live [`Ctx`], outside normal event
     /// dispatch. This is the control-plane injection point: an epoch
     /// scheduler pauses the runtime at a boundary, inspects/mutates

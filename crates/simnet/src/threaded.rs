@@ -1,5 +1,6 @@
-//! The real multi-threaded backend: one OS thread per node, bounded mpsc
-//! mailboxes, a monotonic wall clock.
+//! The real multi-threaded backend: one OS thread per node, lock-free
+//! ring (or bounded mpsc channel) mailboxes, a monotonic wall clock,
+//! optional core pinning.
 //!
 //! Where the simulator *models* a cluster (virtual latencies, CPU
 //! charges), this backend *is* one — each [`Actor`] runs on its own
@@ -9,32 +10,57 @@
 //!
 //! * **Clock** — monotonic wall-clock nanoseconds since runtime creation
 //!   (the `SimTime` values actors see are real elapsed time).
-//! * **Send** — bounded `sync_channel` per node. Sends never block and
-//!   never touch a channel mid-handler: remote sends park in a local
-//!   queue flushed once per worker-loop batch, and self-sends go to a
-//!   zero-synchronization local queue that never touches a channel at
-//!   all. Cyclic protocols (engine A mid-handler sending to B while B
-//!   sends to A) cannot deadlock. The flush preserves not just per-link
-//!   FIFO but each sender's *global* send order across destinations
-//!   (stalling at a full mailbox instead of skipping it) — protocols
-//!   build happens-before chains through third nodes that a weaker
-//!   ordering would break.
+//! * **Send** — one bounded mailbox per node, selected by
+//!   [`MailboxKind`]: a lock-free sequence-slot ring (`ringq::mpsc`,
+//!   default — no mutex anywhere on the message path, with an SPSC
+//!   fast-path ring for topologies whose mailboxes have a single
+//!   producer) or the `std::sync::mpsc::sync_channel` fallback. Sends
+//!   never block and never touch the mailbox mid-handler: remote sends
+//!   park in a local queue flushed once per worker-loop batch, and
+//!   self-sends go to a zero-synchronization local queue that never
+//!   touches a mailbox at all. Cyclic protocols (engine A mid-handler
+//!   sending to B while B sends to A) cannot deadlock. The flush
+//!   preserves not just per-link FIFO but each sender's *global* send
+//!   order across destinations (stalling at a full mailbox instead of
+//!   skipping it) — protocols build happens-before chains through third
+//!   nodes that a weaker ordering would break. Both mailbox kinds also
+//!   preserve *cross-sender arrival order* at each destination (the ring
+//!   by consuming tickets in claim order), which the replication path
+//!   additionally relies on — see DESIGN.md §11 for why per-link rings
+//!   without that merge order would diverge replicas.
+//! * **Wakeup** — rings have no blocking receive, so idle workers use a
+//!   park/unpark protocol: a worker publishes "sleeping", re-checks its
+//!   mailbox, then parks with a bounded timeout; a producer that fills a
+//!   sleeping destination's mailbox unparks it. A missed wakeup is
+//!   impossible to *lose* (the flag handshake) and at worst costs one
+//!   park timeout (`MAX_PARK_NS`, 200µs). The channel fallback keeps using
+//!   `recv_timeout`, whose condvar provides the same wakeup.
 //! * **Timers** — a per-thread hashed [`TimerWheel`]; the worker sleeps
 //!   until *short of* the next due time and spins the final approach,
 //!   keeping timer slop well below the OS sleep granularity.
+//! * **Pinning** — with [`PinPolicy::Cores`], every engine thread pins
+//!   itself to one allowed CPU (`sched_setaffinity` via
+//!   [`crate::affinity`], Linux only, off by default) before running
+//!   `on_start`, so engine-thread cache/NUMA locality is stable and
+//!   first-touch allocations made during `on_start` land on the pinned
+//!   core's NUMA node. On non-Linux hosts the policy degrades to "not
+//!   pinned" without error.
 //! * **`use_cpu`** — a no-op: real CPU is consumed by actually executing
 //!   the handler.
 //!
 //! ## The batched hot path
 //!
 //! Each worker-loop iteration (1) flushes parked sends, (2) fires due
-//! timers, (3) drains up to `MESSAGE_BATCH` envelopes from its channel,
+//! timers, (3) drains up to `MESSAGE_BATCH` envelopes from its mailbox,
 //! handling each in place. Bookkeeping that used to cost one atomic RMW
 //! per event — the cluster-wide outstanding-work counter, the global
 //! event counter — is accumulated in thread-local deltas and published
 //! once per batch. On a contended host this turns the per-message cost
 //! from several cross-core atomics plus a possible futex wake into plain
-//! local arithmetic for all but the last message of each batch.
+//! local arithmetic for all but the last message of each batch. With ring
+//! mailboxes the remaining per-message cost is one claim-CAS at the
+//! sender and two slot-sequence accesses — no mutex, no syscall unless
+//! the destination is actually asleep.
 //!
 //! ## Run phases and quiescence
 //!
@@ -55,17 +81,19 @@
 //! observe it and exit. Batching keeps this sound by construction: a
 //! worker publishes its accumulated delta (spawns minus retirements)
 //! in a *single* atomic add before it flushes the spawned messages to
-//! their destination channels, so no other thread can consume a message
+//! their destination mailboxes, so no other thread can consume a message
 //! whose registration is still pending, and un-retired batch messages
 //! hold the count positive throughout.
 
+use crate::affinity;
 use crate::runtime::{Actor, Backend, Clock, Ctx, Mailbox, NetStats, Runtime, Verb};
 use crate::timer_wheel::TimerWheel;
 use chiller_common::ids::NodeId;
 use chiller_common::time::{Duration, SimTime};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Default bound of each node's mailbox (messages, not bytes).
@@ -82,14 +110,14 @@ const MAX_PARK_NS: u64 = 200_000;
 const MESSAGE_BATCH: usize = 64;
 
 /// When the next armed timer is within this horizon the worker spins
-/// (polling its channel) instead of sleeping; when it is further out the
+/// (polling its mailbox) instead of sleeping; when it is further out the
 /// worker sleeps until `due - SPIN_BEFORE_SLEEP_NS` and spins the final
 /// approach. 50µs ≈ the OS sleep slop being compensated for.
 ///
 /// Spinning only happens when the host has a core per worker (see
 /// [`Shared::spin_allowed`]): on an oversubscribed host a spinning
 /// worker holds the core hostage from workers with real work, and
-/// blocking in `recv_timeout` is better for aggregate throughput than
+/// blocking with a timeout is better for aggregate throughput than
 /// timer fidelity is worth.
 const SPIN_BEFORE_SLEEP_NS: u64 = 50_000;
 
@@ -98,11 +126,148 @@ const SPIN_BEFORE_SLEEP_NS: u64 = 50_000;
 /// worker's core even though the cluster itself is not oversubscribed).
 const SPIN_YIELD_EVERY: u32 = 64;
 
+/// Which mailbox implementation the threaded backend's nodes use.
+///
+/// Both kinds deliver identical ordering guarantees (per-link FIFO *and*
+/// cross-sender arrival order per destination); they differ only in cost.
+/// The kind is normally taken from the `CHILLER_MAILBOX` environment
+/// variable (see [`MailboxKind::from_env`]) so stress suites and benches
+/// can A/B them without code changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MailboxKind {
+    /// Lock-free bounded rings (`ringq`): a sequence-slot MPSC ring per
+    /// node, or an SPSC ring when the topology gives the mailbox a single
+    /// producer (≤ 2 nodes). The default.
+    #[default]
+    Ring,
+    /// `std::sync::mpsc::sync_channel` per node — the PR-3/4 mailbox,
+    /// kept as a live fallback and differential-testing oracle. Takes a
+    /// mutex per send/recv.
+    Channel,
+}
+
+impl MailboxKind {
+    /// Read `CHILLER_MAILBOX` (`ring` | `channel`); unset means
+    /// [`MailboxKind::Ring`]. Panics on an unrecognized value — silently
+    /// measuring the wrong mailbox would poison every A/B number.
+    pub fn from_env() -> Self {
+        match std::env::var("CHILLER_MAILBOX") {
+            Ok(v) if v == "ring" => MailboxKind::Ring,
+            Ok(v) if v == "channel" => MailboxKind::Channel,
+            Ok(other) => panic!("CHILLER_MAILBOX must be `ring` or `channel`, got `{other}`"),
+            Err(_) => MailboxKind::Ring,
+        }
+    }
+
+    /// Stable label used in reports and BENCH_*.json rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            MailboxKind::Ring => "ring",
+            MailboxKind::Channel => "channel",
+        }
+    }
+}
+
+impl std::fmt::Display for MailboxKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Whether engine threads pin themselves to CPUs.
+///
+/// Off by default: pinning helps when the cluster has the machine to
+/// itself and hurts when it shares cores. Normally taken from the
+/// `CHILLER_PIN` environment variable (see [`PinPolicy::from_env`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PinPolicy {
+    /// Leave thread placement to the OS scheduler. The default.
+    #[default]
+    Off,
+    /// Pin worker `i` to the `i`-th CPU of the process's allowed set
+    /// (round-robin when there are more workers than CPUs), each phase,
+    /// before `on_start` runs — so first-touch allocations made by
+    /// `on_start` land on the pinned core's NUMA node. Linux only; on
+    /// other platforms (or when `sched_setaffinity` fails) the run
+    /// proceeds unpinned and reports `pinned = false`.
+    Cores,
+}
+
+impl PinPolicy {
+    /// Read `CHILLER_PIN` (`1`/`true`/`cores` → [`PinPolicy::Cores`];
+    /// `0`/`false` or unset → [`PinPolicy::Off`]). Panics on an
+    /// unrecognized value.
+    pub fn from_env() -> Self {
+        match std::env::var("CHILLER_PIN") {
+            Ok(v) if v == "1" || v == "true" || v == "cores" => PinPolicy::Cores,
+            Ok(v) if v == "0" || v == "false" => PinPolicy::Off,
+            Ok(other) => panic!("CHILLER_PIN must be 0/1/true/false/cores, got `{other}`"),
+            Err(_) => PinPolicy::Off,
+        }
+    }
+}
+
+/// Construction options for a [`ThreadedRuntime`].
+#[derive(Debug, Clone)]
+pub struct ThreadedConfig {
+    /// Per-node mailbox bound (messages). Rounded up to a power of two by
+    /// the ring mailboxes.
+    pub capacity: usize,
+    /// Mailbox implementation.
+    pub mailbox: MailboxKind,
+    /// Core-pinning policy.
+    pub pin: PinPolicy,
+}
+
+impl Default for ThreadedConfig {
+    /// Defaults resolve the environment knobs: capacity
+    /// [`DEFAULT_MAILBOX_CAPACITY`], mailbox from `CHILLER_MAILBOX`
+    /// (default ring), pinning from `CHILLER_PIN` (default off).
+    fn default() -> Self {
+        ThreadedConfig {
+            capacity: DEFAULT_MAILBOX_CAPACITY,
+            mailbox: MailboxKind::from_env(),
+            pin: PinPolicy::from_env(),
+        }
+    }
+}
+
 /// A message in flight between two nodes.
 struct Envelope<M> {
     src: NodeId,
     verb: Verb,
     msg: M,
+}
+
+/// Per-node wakeup slot for the ring mailboxes (rings have no blocking
+/// receive). The worker registers its thread handle each phase; the
+/// `sleeping` flag makes the park/unpark handshake race-free in the
+/// direction that matters: a producer that pushes *after* the consumer
+/// published `sleeping = true` observes the flag and unparks; a producer
+/// that pushed *before* is observed by the consumer's mailbox re-check
+/// between publishing the flag and parking. Any residual interleaving is
+/// bounded by the park timeout, never lost.
+#[derive(Default)]
+struct Parker {
+    /// True from just before the worker's pre-park mailbox re-check until
+    /// it wakes.
+    sleeping: AtomicBool,
+    /// The worker thread currently servicing this node, while a phase runs.
+    thread: Mutex<Option<std::thread::Thread>>,
+}
+
+impl Parker {
+    /// Producer side: wake the worker if (and only if) it is parked or
+    /// about to park. The fast path — destination awake — is one relaxed
+    /// load.
+    #[inline]
+    fn wake(&self) {
+        if self.sleeping.load(Ordering::Relaxed) && self.sleeping.swap(false, Ordering::SeqCst) {
+            if let Some(t) = self.thread.lock().expect("parker lock").as_ref() {
+                t.unpark();
+            }
+        }
+    }
 }
 
 /// Coordination state shared by all worker threads during a phase.
@@ -123,6 +288,11 @@ struct Shared {
     /// host has at least one core per worker, i.e. spinning cannot starve
     /// another worker that has real work.
     spin_allowed: bool,
+    /// One wakeup slot per node (used by the ring mailboxes).
+    parkers: Vec<Parker>,
+    /// Set when any worker's `sched_setaffinity` call fails; a run
+    /// reports `pinned` only if pinning was requested and never failed.
+    pin_failed: AtomicBool,
 }
 
 impl Shared {
@@ -137,13 +307,103 @@ impl Shared {
     }
 }
 
+/// Receiving end of a node's mailbox.
+enum Inbox<M> {
+    /// `sync_channel` fallback.
+    Channel(Receiver<Envelope<M>>),
+    /// Lock-free MPSC ring (many senders).
+    RingMpsc(ringq::mpsc::Consumer<Envelope<M>>),
+    /// Lock-free SPSC ring (topology guarantees a single sender).
+    RingSpsc(ringq::spsc::Consumer<Envelope<M>>),
+}
+
+/// Outcome of a non-blocking receive.
+enum Recv<M> {
+    Msg(Envelope<M>),
+    Empty,
+    /// Channel teardown (rings never disconnect).
+    Disconnected,
+}
+
+impl<M> Inbox<M> {
+    #[inline]
+    fn try_recv(&mut self) -> Recv<M> {
+        match self {
+            Inbox::Channel(rx) => match rx.try_recv() {
+                Ok(env) => Recv::Msg(env),
+                Err(std::sync::mpsc::TryRecvError::Empty) => Recv::Empty,
+                Err(std::sync::mpsc::TryRecvError::Disconnected) => Recv::Disconnected,
+            },
+            Inbox::RingMpsc(rx) => match rx.pop() {
+                Some(env) => Recv::Msg(env),
+                None => Recv::Empty,
+            },
+            Inbox::RingSpsc(rx) => match rx.pop() {
+                Some(env) => Recv::Msg(env),
+                None => Recv::Empty,
+            },
+        }
+    }
+
+    /// Whether a message is poppable right now (rings only; the channel
+    /// fallback never parks, so it never asks).
+    #[inline]
+    fn has_ready(&self) -> bool {
+        match self {
+            Inbox::Channel(_) => false,
+            Inbox::RingMpsc(rx) => rx.has_ready(),
+            Inbox::RingSpsc(rx) => rx.has_ready(),
+        }
+    }
+}
+
+/// Sending end of one destination's mailbox, held by every other node.
+enum Outbox<M> {
+    Channel(SyncSender<Envelope<M>>),
+    RingMpsc(ringq::mpsc::Producer<Envelope<M>>),
+    RingSpsc(ringq::spsc::Producer<Envelope<M>>),
+}
+
+/// Outcome of a non-blocking send.
+enum SendOutcome<M> {
+    Ok,
+    Full(Envelope<M>),
+    /// Channel teardown (rings never disconnect).
+    Disconnected,
+}
+
+impl<M> Outbox<M> {
+    #[inline]
+    fn try_send(&mut self, env: Envelope<M>) -> SendOutcome<M> {
+        match self {
+            Outbox::Channel(tx) => match tx.try_send(env) {
+                Ok(()) => SendOutcome::Ok,
+                Err(TrySendError::Full(env)) => SendOutcome::Full(env),
+                Err(TrySendError::Disconnected(_)) => SendOutcome::Disconnected,
+            },
+            Outbox::RingMpsc(tx) => match tx.push(env) {
+                Ok(()) => SendOutcome::Ok,
+                Err(env) => SendOutcome::Full(env),
+            },
+            Outbox::RingSpsc(tx) => match tx.push(env) {
+                Ok(()) => SendOutcome::Ok,
+                Err(env) => SendOutcome::Full(env),
+            },
+        }
+    }
+}
+
 /// Per-node state that persists across run phases; mutably borrowed by
 /// that node's worker thread while a phase runs.
 struct NodeState<M> {
     node: NodeId,
-    rx: Receiver<Envelope<M>>,
-    /// Senders to every node's mailbox (index = destination node).
-    txs: Vec<SyncSender<Envelope<M>>>,
+    inbox: Inbox<M>,
+    /// Senders to every node's mailbox (index = destination node). The
+    /// entry at this node's own index is never used to send — self-sends
+    /// bypass mailboxes — and is `None` for the ring kinds; the channel
+    /// kind keeps a (unused) self-sender there so a single-node cluster's
+    /// receiver does not observe a spurious disconnect.
+    txs: Vec<Option<Outbox<M>>>,
     /// Armed timers, hashed by due tick (see [`TimerWheel`]).
     timers: TimerWheel,
     /// Scratch buffer for expired-timer batches (reused across fires).
@@ -157,7 +417,7 @@ struct NodeState<M> {
     /// so the flush must never let a later send to one destination pass
     /// an earlier send to another.
     pending: VecDeque<(NodeId, Envelope<M>)>,
-    /// Self-sends, delivered without touching the channel: the self link
+    /// Self-sends, delivered without touching the mailbox: the self link
     /// has exactly one sender and one receiver (this thread), so a plain
     /// FIFO queue preserves its order at zero synchronization cost.
     local: VecDeque<Envelope<M>>,
@@ -181,78 +441,64 @@ impl<M> NodeState<M> {
         }
     }
 
-    /// Push parked sends into their destination channels in send order.
+    /// Push parked sends into their destination mailboxes in send order.
     /// Stops entirely at the first full mailbox: letting later sends
     /// overtake the blocked one would break the cross-destination
     /// ordering documented on [`NodeState::pending`]. The stall blocks
     /// only the flush, never this worker (it keeps draining its own
-    /// channel, which is what frees the peer's capacity), so cyclic
+    /// mailbox, which is what frees the peer's capacity), so cyclic
     /// full-mailbox configurations still make progress.
-    fn flush_pending(&mut self) {
+    fn flush_pending(&mut self, shared: &Shared) {
         while let Some((dst, env)) = self.pending.pop_front() {
-            match self.txs[dst.idx()].try_send(env) {
-                Ok(()) => {}
-                Err(TrySendError::Full(env)) => {
+            let tx = self.txs[dst.idx()]
+                .as_mut()
+                .expect("remote send routed to the sender's own mailbox");
+            match tx.try_send(env) {
+                SendOutcome::Ok => shared.parkers[dst.idx()].wake(),
+                SendOutcome::Full(env) => {
                     self.pending.push_front((dst, env));
                     break;
                 }
                 // Receivers live as long as the runtime; a disconnect can
                 // only mean teardown, where dropping is harmless.
-                Err(TrySendError::Disconnected(_)) => {}
+                SendOutcome::Disconnected => {}
             }
         }
     }
-}
 
-/// The threaded backend's [`Mailbox`]. Also used by the main thread for
-/// control-plane injection between phases.
-struct ThreadMailbox<'a, M> {
-    st: &'a mut NodeState<M>,
-    shared: &'a Shared,
-}
-
-impl<M> Mailbox<M> for ThreadMailbox<'_, M> {
-    #[inline]
-    fn now(&self) -> SimTime {
-        SimTime(self.shared.now_ns())
-    }
-
-    #[inline]
-    fn node(&self) -> NodeId {
-        self.st.node
-    }
-
-    fn send(&mut self, dst: NodeId, verb: Verb, msg: M) {
-        let src = self.st.node;
-        self.st.outstanding_delta += 1;
-        if src == dst {
-            self.st.stats.local_msgs += 1;
-            self.st.local.push_back(Envelope { src, verb, msg });
-        } else {
-            match verb {
-                Verb::OneSided => self.st.stats.one_sided_msgs += 1,
-                Verb::Rpc => self.st.stats.rpc_msgs += 1,
+    /// Block until a message arrives, `sleep_ns` passes, or (channel
+    /// only) the mailbox disconnects. The mailbox kinds wait differently:
+    /// the channel blocks in `recv_timeout` (its condvar is the wakeup),
+    /// the rings use the [`Parker`] handshake. Either way the wait is
+    /// bounded, so deadline/quiescence re-checks at the loop top are
+    /// never starved.
+    fn await_message(&mut self, shared: &Shared, sleep_ns: u64) -> Recv<M> {
+        match &mut self.inbox {
+            Inbox::Channel(rx) => {
+                match rx.recv_timeout(std::time::Duration::from_nanos(sleep_ns)) {
+                    Ok(env) => Recv::Msg(env),
+                    Err(RecvTimeoutError::Timeout) => Recv::Empty,
+                    Err(RecvTimeoutError::Disconnected) => Recv::Disconnected,
+                }
             }
-            self.st
-                .pending
-                .push_back((dst, Envelope { src, verb, msg }));
+            Inbox::RingMpsc(_) | Inbox::RingSpsc(_) => {
+                let parker = &shared.parkers[self.node.idx()];
+                parker.sleeping.store(true, Ordering::SeqCst);
+                // Re-check after publishing the flag: a producer that
+                // pushed before the store cannot have seen it, so it falls
+                // to us to notice the message; one that pushes after will
+                // see the flag and unpark us.
+                if self.inbox.has_ready() || shared.outstanding.load(Ordering::SeqCst) == 0 {
+                    parker.sleeping.store(false, Ordering::Relaxed);
+                    return Recv::Empty;
+                }
+                std::thread::park_timeout(std::time::Duration::from_nanos(sleep_ns));
+                parker.sleeping.store(false, Ordering::Relaxed);
+                // Let the worker loop re-drain; an extra iteration is
+                // cheaper than duplicating the batch path here.
+                Recv::Empty
+            }
         }
-    }
-
-    fn set_timer(&mut self, d: Duration, token: u64) {
-        self.st.outstanding_delta += 1;
-        let due = self.shared.now_ns().saturating_add(d.as_nanos());
-        self.st.timers.insert(due, token);
-    }
-
-    fn set_timer_when_free(&mut self, d: Duration, token: u64) {
-        // No busy horizon on real threads: the engine is free whenever it
-        // is not executing.
-        self.set_timer(d, token);
-    }
-
-    fn use_cpu(&mut self, _d: Duration) {
-        // Real CPU is consumed by actually executing the handler.
     }
 }
 
@@ -263,33 +509,94 @@ pub struct ThreadedRuntime<M, A> {
     states: Vec<NodeState<M>>,
     shared: Shared,
     started: bool,
+    mailbox: MailboxKind,
+    pin: PinPolicy,
+    /// CPUs the process may use (resolved once; empty when unknown or
+    /// pinning is off). Worker `i` pins to `pin_cpus[i % len]`.
+    pin_cpus: Vec<usize>,
 }
 
 impl<M: Send, A: Actor<M> + Send> ThreadedRuntime<M, A> {
     /// Build a threaded runtime over the given actors; actor `i` runs on
-    /// `NodeId(i)` with a mailbox bounded at [`DEFAULT_MAILBOX_CAPACITY`].
+    /// `NodeId(i)`. Mailbox kind and pin policy resolve from the
+    /// environment (see [`ThreadedConfig::default`]).
     pub fn new(actors: Vec<A>) -> Self {
-        Self::with_mailbox_capacity(actors, DEFAULT_MAILBOX_CAPACITY)
+        Self::with_config(actors, ThreadedConfig::default())
     }
 
-    /// Build with an explicit per-node mailbox bound.
+    /// Build with an explicit per-node mailbox bound (environment
+    /// defaults for everything else).
     pub fn with_mailbox_capacity(actors: Vec<A>, capacity: usize) -> Self {
-        assert!(capacity >= 1, "mailboxes must hold at least one message");
+        Self::with_config(
+            actors,
+            ThreadedConfig {
+                capacity,
+                ..ThreadedConfig::default()
+            },
+        )
+    }
+
+    /// Build with explicit options.
+    pub fn with_config(actors: Vec<A>, cfg: ThreadedConfig) -> Self {
+        assert!(
+            cfg.capacity >= 1,
+            "mailboxes must hold at least one message"
+        );
         let n = actors.len();
-        let mut txs = Vec::with_capacity(n);
-        let mut rxs = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = sync_channel(capacity);
-            txs.push(tx);
-            rxs.push(rx);
+        let mut inboxes: Vec<Inbox<M>> = Vec::with_capacity(n);
+        let mut txs_per_node: Vec<Vec<Option<Outbox<M>>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        match cfg.mailbox {
+            MailboxKind::Channel => {
+                for dst in 0..n {
+                    let (tx, rx) = sync_channel(cfg.capacity);
+                    inboxes.push(Inbox::Channel(rx));
+                    // Every slot gets a sender — including dst's own,
+                    // which is never used to send (self-sends bypass
+                    // mailboxes) but keeps the channel connected: a
+                    // single-node cluster would otherwise drop the only
+                    // sender and its worker would read Disconnected
+                    // before ever firing its timers.
+                    for txs in txs_per_node.iter_mut() {
+                        txs[dst] = Some(Outbox::Channel(tx.clone()));
+                    }
+                }
+            }
+            // ≤ 2 nodes: each mailbox has exactly one possible producer
+            // (the single other node — self-sends bypass mailboxes, and
+            // the control plane only injects between phases), so the
+            // cheaper SPSC ring is sound. See DESIGN.md §11 for why this
+            // is the *only* topology where per-mailbox SPSC is sound.
+            MailboxKind::Ring if n <= 2 => {
+                for dst in 0..n {
+                    let (tx, rx) = ringq::spsc::bounded(cfg.capacity);
+                    inboxes.push(Inbox::RingSpsc(rx));
+                    if n == 2 {
+                        txs_per_node[1 - dst][dst] = Some(Outbox::RingSpsc(tx));
+                    }
+                    // n == 1: no remote link exists; the producer drops.
+                }
+            }
+            MailboxKind::Ring => {
+                for dst in 0..n {
+                    let (tx, rx) = ringq::mpsc::bounded(cfg.capacity);
+                    inboxes.push(Inbox::RingMpsc(rx));
+                    for (src, txs) in txs_per_node.iter_mut().enumerate() {
+                        if src != dst {
+                            txs[dst] = Some(Outbox::RingMpsc(tx.clone()));
+                        }
+                    }
+                }
+            }
         }
-        let states = rxs
+        let states = inboxes
             .into_iter()
+            .zip(txs_per_node)
             .enumerate()
-            .map(|(i, rx)| NodeState {
+            .map(|(i, (inbox, txs))| NodeState {
                 node: NodeId(i as u32),
-                rx,
-                txs: txs.clone(),
+                inbox,
+                txs,
                 timers: TimerWheel::default(),
                 fired: Vec::new(),
                 pending: VecDeque::new(),
@@ -298,6 +605,10 @@ impl<M: Send, A: Actor<M> + Send> ThreadedRuntime<M, A> {
                 stats: NetStats::default(),
             })
             .collect();
+        let pin_cpus = match cfg.pin {
+            PinPolicy::Off => Vec::new(),
+            PinPolicy::Cores => affinity::allowed_cpus(),
+        };
         ThreadedRuntime {
             actors,
             states,
@@ -310,9 +621,19 @@ impl<M: Send, A: Actor<M> + Send> ThreadedRuntime<M, A> {
                 spin_allowed: std::thread::available_parallelism()
                     .map(|p| p.get() >= n.max(1))
                     .unwrap_or(false),
+                parkers: (0..n).map(|_| Parker::default()).collect(),
+                pin_failed: AtomicBool::new(false),
             },
             started: false,
+            mailbox: cfg.mailbox,
+            pin: cfg.pin,
+            pin_cpus,
         }
+    }
+
+    /// The mailbox implementation this runtime was built with.
+    pub fn mailbox_kind(&self) -> MailboxKind {
+        self.mailbox
     }
 
     /// Run one phase: spawn a scoped worker per node, join when every
@@ -334,12 +655,29 @@ impl<M: Send, A: Actor<M> + Send> ThreadedRuntime<M, A> {
             .event_limit
             .store(before.saturating_add(max_events), Ordering::SeqCst);
         let shared = &self.shared;
+        let pin_cpus = &self.pin_cpus;
         std::thread::scope(|scope| {
-            for (actor, st) in self.actors.iter_mut().zip(self.states.iter_mut()) {
-                scope.spawn(move || worker(actor, st, shared, first));
+            for (i, (actor, st)) in self
+                .actors
+                .iter_mut()
+                .zip(self.states.iter_mut())
+                .enumerate()
+            {
+                let pin = (!pin_cpus.is_empty()).then(|| pin_cpus[i % pin_cpus.len()]);
+                scope.spawn(move || worker(actor, st, shared, first, pin));
             }
         });
         self.shared.events.load(Ordering::SeqCst) - before
+    }
+
+    /// Whether this runtime's workers are pinned: pinning was requested,
+    /// the allowed-CPU set was readable, at least one phase ran, and no
+    /// `sched_setaffinity` call failed.
+    fn pinned_now(&self) -> bool {
+        self.pin == PinPolicy::Cores
+            && !self.pin_cpus.is_empty()
+            && self.started
+            && !self.shared.pin_failed.load(Ordering::Relaxed)
     }
 }
 
@@ -419,7 +757,26 @@ fn fire_due_timers<M, A: Actor<M>>(actor: &mut A, st: &mut NodeState<M>, shared:
 /// path; the loop invariant is that `outstanding_delta` is published
 /// (and therefore zero) at every point where the thread may sleep, spin,
 /// check quiescence, or return.
-fn worker<M, A: Actor<M>>(actor: &mut A, st: &mut NodeState<M>, shared: &Shared, first: bool) {
+fn worker<M, A: Actor<M>>(
+    actor: &mut A,
+    st: &mut NodeState<M>,
+    shared: &Shared,
+    first: bool,
+    pin: Option<usize>,
+) {
+    // Pin before anything else — in particular before `on_start`, so
+    // first-touch allocations made there land on this core's NUMA node.
+    // Threads are fresh each phase, so pinning repeats each phase.
+    if let Some(cpu) = pin {
+        if !affinity::pin_current_thread(cpu) {
+            shared.pin_failed.store(true, Ordering::Relaxed);
+        }
+    }
+    // Register for ring wakeups (new thread handle every phase).
+    *shared.parkers[st.node.idx()]
+        .thread
+        .lock()
+        .expect("parker lock") = Some(std::thread::current());
     if first {
         {
             let mut mb = ThreadMailbox { st, shared };
@@ -432,7 +789,7 @@ fn worker<M, A: Actor<M>>(actor: &mut A, st: &mut NodeState<M>, shared: &Shared,
     }
     loop {
         debug_assert_eq!(st.outstanding_delta, 0, "delta published before loop top");
-        st.flush_pending();
+        st.flush_pending(shared);
         let deadline = shared.deadline_ns.load(Ordering::SeqCst);
         if shared.now_ns() >= deadline {
             return; // Pause: state survives for the next phase.
@@ -448,7 +805,7 @@ fn worker<M, A: Actor<M>>(actor: &mut A, st: &mut NodeState<M>, shared: &Shared,
         // Drain a batch of messages without touching shared state, then
         // publish the whole batch's bookkeeping at once. Self-sends
         // (including ones produced by handlers mid-batch) drain first —
-        // they cost no channel synchronization at all.
+        // they cost no mailbox synchronization at all.
         let mut handled = 0u64;
         let mut disconnected = false;
         while handled < MESSAGE_BATCH as u64 {
@@ -457,13 +814,13 @@ fn worker<M, A: Actor<M>>(actor: &mut A, st: &mut NodeState<M>, shared: &Shared,
                 handled += 1;
                 continue;
             }
-            match st.rx.try_recv() {
-                Ok(env) => {
+            match st.inbox.try_recv() {
+                Recv::Msg(env) => {
                     handle_message(actor, st, shared, env);
                     handled += 1;
                 }
-                Err(std::sync::mpsc::TryRecvError::Empty) => break,
-                Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                Recv::Empty => break,
+                Recv::Disconnected => {
                     disconnected = true;
                     break;
                 }
@@ -487,7 +844,7 @@ fn worker<M, A: Actor<M>>(actor: &mut A, st: &mut NodeState<M>, shared: &Shared,
         // park-tick, whichever is first; a message arrival wakes us early.
         // When the wake target is an armed timer, approach it in two
         // steps: sleep until `SPIN_BEFORE_SLEEP_NS` short of it, then spin
-        // (polling the channel) to the due time — `recv_timeout` alone
+        // (polling the mailbox) to the due time — a timed sleep alone
         // overshoots by the OS sleep granularity.
         let now = shared.now_ns();
         let next_timer = st.timers.next_due().unwrap_or(u64::MAX);
@@ -500,14 +857,14 @@ fn worker<M, A: Actor<M>>(actor: &mut A, st: &mut NodeState<M>, shared: &Shared,
         {
             let mut iters: u32 = 0;
             while shared.now_ns() < next_timer {
-                match st.rx.try_recv() {
-                    Ok(env) => {
+                match st.inbox.try_recv() {
+                    Recv::Msg(env) => {
                         handle_message(actor, st, shared, env);
                         retire(st, shared, 1);
                         break;
                     }
-                    Err(std::sync::mpsc::TryRecvError::Empty) => {}
-                    Err(std::sync::mpsc::TryRecvError::Disconnected) => return,
+                    Recv::Empty => {}
+                    Recv::Disconnected => return,
                 }
                 iters = iters.wrapping_add(1);
                 if iters.is_multiple_of(SPIN_YIELD_EVERY) {
@@ -526,16 +883,13 @@ fn worker<M, A: Actor<M>>(actor: &mut A, st: &mut NodeState<M>, shared: &Shared,
         } else {
             wait
         };
-        match st
-            .rx
-            .recv_timeout(std::time::Duration::from_nanos(sleep_ns))
-        {
-            Ok(env) => {
+        match st.await_message(shared, sleep_ns) {
+            Recv::Msg(env) => {
                 handle_message(actor, st, shared, env);
                 retire(st, shared, 1);
             }
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => return,
+            Recv::Empty => {}
+            Recv::Disconnected => return,
         }
     }
 }
@@ -579,6 +933,10 @@ impl<M: Send, A: Actor<M> + Send> Runtime<M, A> for ThreadedRuntime<M, A> {
         self.run_phase(u64::MAX, max_events)
     }
 
+    fn pinned(&self) -> bool {
+        self.pinned_now()
+    }
+
     fn with_actor_ctx(&mut self, node: NodeId, f: &mut dyn FnMut(&mut A, &mut Ctx<'_, M>)) {
         let st = &mut self.states[node.idx()];
         {
@@ -592,6 +950,58 @@ impl<M: Send, A: Actor<M> + Send> Runtime<M, A> for ThreadedRuntime<M, A> {
         // Register injected sends/timers now; the envelopes themselves
         // stay parked until the next phase's first flush.
         st.publish_outstanding(&self.shared);
+    }
+}
+
+/// The threaded backend's [`Mailbox`]. Also used by the main thread for
+/// control-plane injection between phases.
+struct ThreadMailbox<'a, M> {
+    st: &'a mut NodeState<M>,
+    shared: &'a Shared,
+}
+
+impl<M> Mailbox<M> for ThreadMailbox<'_, M> {
+    #[inline]
+    fn now(&self) -> SimTime {
+        SimTime(self.shared.now_ns())
+    }
+
+    #[inline]
+    fn node(&self) -> NodeId {
+        self.st.node
+    }
+
+    fn send(&mut self, dst: NodeId, verb: Verb, msg: M) {
+        let src = self.st.node;
+        self.st.outstanding_delta += 1;
+        if src == dst {
+            self.st.stats.local_msgs += 1;
+            self.st.local.push_back(Envelope { src, verb, msg });
+        } else {
+            match verb {
+                Verb::OneSided => self.st.stats.one_sided_msgs += 1,
+                Verb::Rpc => self.st.stats.rpc_msgs += 1,
+            }
+            self.st
+                .pending
+                .push_back((dst, Envelope { src, verb, msg }));
+        }
+    }
+
+    fn set_timer(&mut self, d: Duration, token: u64) {
+        self.st.outstanding_delta += 1;
+        let due = self.shared.now_ns().saturating_add(d.as_nanos());
+        self.st.timers.insert(due, token);
+    }
+
+    fn set_timer_when_free(&mut self, d: Duration, token: u64) {
+        // No busy horizon on real threads: the engine is free whenever it
+        // is not executing.
+        self.set_timer(d, token);
+    }
+
+    fn use_cpu(&mut self, _d: Duration) {
+        // Real CPU is consumed by actually executing the handler.
     }
 }
 
@@ -676,6 +1086,16 @@ mod tests {
         }
     }
 
+    /// Explicit mailbox-kind config: tests that must cover a specific
+    /// implementation regardless of the `CHILLER_MAILBOX` environment.
+    fn config(mailbox: MailboxKind, capacity: usize) -> ThreadedConfig {
+        ThreadedConfig {
+            capacity,
+            mailbox,
+            pin: PinPolicy::Off,
+        }
+    }
+
     #[test]
     fn ping_pong_reaches_quiescence() {
         let mut rt = ThreadedRuntime::new(vec![
@@ -694,13 +1114,78 @@ mod tests {
         assert_eq!(stats.events_processed, 1000);
     }
 
+    /// The same ping-pong on every explicit mailbox implementation: a
+    /// 2-node cluster exercises the SPSC fast path, 5 nodes the MPSC
+    /// ring, and the channel fallback must keep working regardless of
+    /// the environment default.
+    #[test]
+    fn ping_pong_on_every_mailbox_kind() {
+        for (kind, nodes) in [
+            (MailboxKind::Ring, 2),
+            (MailboxKind::Ring, 5),
+            (MailboxKind::Channel, 2),
+            (MailboxKind::Channel, 5),
+        ] {
+            let mut actors = vec![
+                TestActor::Pinger {
+                    count: 300,
+                    replies: 0,
+                },
+                TestActor::Echo {
+                    received: Vec::new(),
+                },
+            ];
+            for _ in 2..nodes {
+                actors.push(TestActor::Recorder {
+                    received: Vec::new(),
+                });
+            }
+            let mut rt = ThreadedRuntime::with_config(actors, config(kind, 64));
+            rt.run_to_quiescence(u64::MAX);
+            assert_eq!(
+                replies(&rt.actors()[0]),
+                300,
+                "{kind} mailbox with {nodes} nodes lost replies"
+            );
+            assert_eq!(rt.mailbox_kind(), kind);
+        }
+    }
+
     /// Per-link FIFO even when the bounded mailbox overflows into the
     /// parked-send queue: node 1 must observe node 0's payloads in order.
+    /// Covers both ring lanes (SPSC at 2 nodes) and the channel.
     #[test]
     fn per_link_fifo_survives_mailbox_overflow() {
         let n = 500u64;
-        let mut rt = ThreadedRuntime::with_mailbox_capacity(
-            vec![
+        for kind in [MailboxKind::Ring, MailboxKind::Channel] {
+            let mut rt = ThreadedRuntime::with_config(
+                vec![
+                    TestActor::Pinger {
+                        count: n,
+                        replies: 0,
+                    },
+                    TestActor::Recorder {
+                        received: Vec::new(),
+                    },
+                ],
+                config(kind, 4), // tiny mailbox: most sends park between flushes
+            );
+            rt.run_to_quiescence(u64::MAX);
+            let TestActor::Recorder { received } = &rt.actors()[1] else {
+                panic!("node 1 is the recorder");
+            };
+            assert_eq!(received, &(0..n).collect::<Vec<_>>(), "{kind} reordered");
+        }
+    }
+
+    /// Capacity-1 rings: every send overflows, every flush stalls, and
+    /// the wakeup handshake fires constantly — FIFO must still be exact.
+    #[test]
+    fn capacity_one_ring_mailboxes_stay_fifo() {
+        let n = 300u64;
+        // 3 nodes forces the MPSC ring; 2 nodes the SPSC ring.
+        for nodes in [2usize, 3] {
+            let mut actors = vec![
                 TestActor::Pinger {
                     count: n,
                     replies: 0,
@@ -708,14 +1193,23 @@ mod tests {
                 TestActor::Recorder {
                     received: Vec::new(),
                 },
-            ],
-            4, // tiny mailbox: most sends park locally between flushes
-        );
-        rt.run_to_quiescence(u64::MAX);
-        let TestActor::Recorder { received } = &rt.actors()[1] else {
-            panic!("node 1 is the recorder");
-        };
-        assert_eq!(received, &(0..n).collect::<Vec<_>>());
+            ];
+            for _ in 2..nodes {
+                actors.push(TestActor::Recorder {
+                    received: Vec::new(),
+                });
+            }
+            let mut rt = ThreadedRuntime::with_config(actors, config(MailboxKind::Ring, 1));
+            rt.run_to_quiescence(u64::MAX);
+            let TestActor::Recorder { received } = &rt.actors()[1] else {
+                panic!("node 1 is the recorder");
+            };
+            assert_eq!(
+                received,
+                &(0..n).collect::<Vec<_>>(),
+                "capacity-1 ring with {nodes} nodes reordered"
+            );
+        }
     }
 
     /// Quiescence must not be declared while a long message cascade is
@@ -833,6 +1327,26 @@ mod tests {
         assert!(fired < 100_000, "guard must stop the zero-delay ticker");
     }
 
+    /// Regression: a single-node cluster on the channel mailbox must keep
+    /// its (unused) self-sender alive — dropping it disconnects the
+    /// receiver and the worker would exit before firing armed timers.
+    #[test]
+    fn single_node_channel_cluster_fires_timers() {
+        let mut rt = ThreadedRuntime::with_config(
+            vec![TestActor::Ticker {
+                fired: 0,
+                limit: 10,
+                delay_ns: 20_000,
+            }],
+            config(MailboxKind::Channel, 16),
+        );
+        rt.run_to_quiescence(u64::MAX);
+        let TestActor::Ticker { fired, .. } = rt.actors()[0] else {
+            panic!()
+        };
+        assert_eq!(fired, 10, "single-node channel worker exited early");
+    }
+
     #[test]
     fn clock_is_monotonic() {
         let rt = ThreadedRuntime::<u64, TestActor>::new(vec![TestActor::Recorder {
@@ -841,5 +1355,45 @@ mod tests {
         let a = rt.now();
         let b = rt.now();
         assert!(b >= a);
+    }
+
+    /// Pinning: requested-but-unstarted runtimes report unpinned; after a
+    /// phase on Linux the report flips to pinned (and stays honest about
+    /// failure elsewhere).
+    #[test]
+    fn pin_policy_reports_honestly() {
+        let mut rt = ThreadedRuntime::with_config(
+            vec![
+                TestActor::Pinger {
+                    count: 50,
+                    replies: 0,
+                },
+                TestActor::Echo {
+                    received: Vec::new(),
+                },
+            ],
+            ThreadedConfig {
+                capacity: 64,
+                mailbox: MailboxKind::Ring,
+                pin: PinPolicy::Cores,
+            },
+        );
+        assert!(!rt.pinned(), "nothing is pinned before the first phase");
+        rt.run_to_quiescence(u64::MAX);
+        assert_eq!(replies(&rt.actors()[0]), 50);
+        if cfg!(target_os = "linux") {
+            assert!(rt.pinned(), "Linux run with Cores policy must pin");
+        } else {
+            assert!(!rt.pinned(), "non-Linux must degrade to unpinned");
+        }
+        // Off policy never reports pinned.
+        let mut off = ThreadedRuntime::with_config(
+            vec![TestActor::Recorder {
+                received: Vec::new(),
+            }],
+            config(MailboxKind::Ring, 64),
+        );
+        off.run_to_quiescence(u64::MAX);
+        assert!(!off.pinned());
     }
 }

@@ -192,6 +192,23 @@ pub fn build_cluster_on(
     sim: SimConfig,
     backend: Backend,
 ) -> Cluster {
+    build_cluster_tuned(cfg, nodes, protocol, sim, backend, None, None)
+}
+
+/// [`build_cluster_on`] with explicit threaded-backend tuning: mailbox
+/// implementation and core-pinning policy (`None` defers to the
+/// `CHILLER_MAILBOX` / `CHILLER_PIN` environment knobs). The A/B matrix
+/// in `bench_threaded_throughput` drives all four combinations through
+/// this door; the simulated backend ignores both.
+pub fn build_cluster_tuned(
+    cfg: &TransferConfig,
+    nodes: usize,
+    protocol: Protocol,
+    sim: SimConfig,
+    backend: Backend,
+    mailbox: Option<MailboxKind>,
+    pin: Option<PinPolicy>,
+) -> Cluster {
     let mut builder = ClusterBuilder::new(TransferConfig::schema(), nodes);
     let proc = builder.register_proc(transfer_proc());
     builder
@@ -201,6 +218,12 @@ pub fn build_cluster_on(
         .placement(Arc::new(cfg.chiller_placement(nodes as u32)))
         .hot_records(cfg.hot_records())
         .load(cfg.initial_records());
+    if let Some(kind) = mailbox {
+        builder.mailbox(kind);
+    }
+    if let Some(policy) = pin {
+        builder.pin_threads(policy);
+    }
     let cfg = cfg.clone();
     builder.source_per_node(move |_| Box::new(TransferSource::new(cfg.clone(), proc)));
     builder.build().expect("valid transfer cluster")
