@@ -33,7 +33,7 @@
 
 use chiller::cluster::RunSpec;
 use chiller::prelude::*;
-use chiller_bench::{emit, ktps, ratio};
+use chiller_bench::{emit, ktps, median_run, ratio};
 use chiller_workload::transfer::{
     assert_serializability_invariants, build_cluster_tuned, TransferConfig,
 };
@@ -84,10 +84,11 @@ fn run_point(
     warm_ms: u64,
     measure_ms: u64,
 ) -> Point {
-    // (wall tps, abort rate, commits) per run; the whole row comes from
-    // the median-throughput run so its columns stay mutually consistent
-    // (commits / measure_ms must agree with threaded_ktps).
-    let mut samples: Vec<(f64, f64, u64)> = Vec::with_capacity(runs);
+    // Keyed by wall tps, carrying (abort rate, commits): `median_run`
+    // assembles the whole row from the median-throughput run so its
+    // columns stay mutually consistent (commits / measure_ms must agree
+    // with threaded_ktps).
+    let mut samples: Vec<(f64, (f64, u64))> = Vec::with_capacity(runs);
     let mut pinned = pin == PinPolicy::Cores;
     for _ in 0..runs {
         let mut cluster = build_cluster_tuned(
@@ -108,22 +109,16 @@ fn run_point(
         pinned &= report.pinned;
         samples.push((
             report.wall_throughput(),
-            report.abort_rate(),
-            report.total_commits(),
+            (report.abort_rate(), report.total_commits()),
         ));
     }
-    samples.sort_by(|a, b| a.0.total_cmp(&b.0));
-    let (med, abort_rate, commits) = samples[samples.len() / 2];
-    let spread = if med > 0.0 {
-        (samples[samples.len() - 1].0 - samples[0].0) / med * 100.0
-    } else {
-        0.0
-    };
+    let m = median_run(samples);
+    let (abort_rate, commits) = m.payload;
     Point {
         mailbox,
         pinned,
-        threaded_tps: med,
-        spread_pct: spread,
+        threaded_tps: m.median,
+        spread_pct: m.spread_pct,
         abort_rate,
         commits,
     }

@@ -58,6 +58,53 @@ pub fn ratio(r: f64) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// Run aggregation
+// ---------------------------------------------------------------------------
+
+/// Median-of-runs outcome of one benchmark point (see DESIGN.md §10:
+/// single wall-clock runs swing ±10% on shared hosts, so every
+/// wall-clock bench reports the median of several runs plus the spread).
+pub struct Medians<T> {
+    /// Median of the runs' keyed values (throughput, usually).
+    pub median: f64,
+    /// `(max − min) / median × 100` across the runs (0 when the median
+    /// is 0) — how much this point wobbled.
+    pub spread_pct: f64,
+    /// Payload of the median-keyed run. Rows are assembled from this one
+    /// run so their columns stay mutually consistent (e.g. `commits /
+    /// window` agrees with the throughput column), rather than mixing
+    /// medians of independent columns from different runs.
+    pub payload: T,
+}
+
+/// Aggregate one benchmark point's runs: each sample is `(key, payload)`
+/// where the key is the value to take the median over. Shared by
+/// `bench_threaded_throughput` and `bench_async_scale` so the two
+/// wall-clock benches report identical statistics.
+///
+/// Panics on an empty sample set — a bench that measured nothing has no
+/// median to report.
+pub fn median_run<T>(mut samples: Vec<(f64, T)>) -> Medians<T> {
+    assert!(!samples.is_empty(), "median_run needs at least one sample");
+    samples.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let min = samples[0].0;
+    let max = samples[samples.len() - 1].0;
+    let mid = samples.len() / 2;
+    let median = samples[mid].0;
+    let spread_pct = if median > 0.0 {
+        (max - min) / median * 100.0
+    } else {
+        0.0
+    };
+    let payload = samples.swap_remove(mid).1;
+    Medians {
+        median,
+        spread_pct,
+        payload,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Machine-readable output
 // ---------------------------------------------------------------------------
 
@@ -285,6 +332,28 @@ mod tests {
         // Well-bracketed (cheap structural sanity without a JSON parser).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn median_run_picks_middle_and_spreads() {
+        let m = median_run(vec![
+            (3.0, "c"),
+            (1.0, "a"),
+            (2.0, "b"),
+            (5.0, "e"),
+            (4.0, "d"),
+        ]);
+        assert_eq!(m.median, 3.0);
+        assert_eq!(m.payload, "c", "payload must come from the median run");
+        assert!((m.spread_pct - (4.0 / 3.0 * 100.0)).abs() < 1e-9);
+
+        let single = median_run(vec![(7.5, 42u64)]);
+        assert_eq!(single.median, 7.5);
+        assert_eq!(single.spread_pct, 0.0);
+        assert_eq!(single.payload, 42);
+
+        let zeros = median_run(vec![(0.0, ()), (0.0, ())]);
+        assert_eq!(zeros.spread_pct, 0.0, "zero median must not divide by zero");
     }
 
     #[test]

@@ -12,8 +12,8 @@ use chiller_common::ids::{NodeId, PartitionId, RecordId};
 use chiller_common::time::{Duration, SimTime};
 use chiller_common::value::Row;
 use chiller_simnet::{
-    Backend, Ctx, MailboxKind, PinPolicy, Runtime, Simulation, ThreadedConfig, ThreadedRuntime,
-    DEFAULT_MAILBOX_CAPACITY,
+    AsyncConfig, AsyncRuntime, Backend, Ctx, MailboxKind, PinPolicy, Runtime, Simulation,
+    ThreadedConfig, ThreadedRuntime, DEFAULT_MAILBOX_CAPACITY,
 };
 use chiller_sproc::Procedure;
 use chiller_storage::placement::{HashPlacement, Placement};
@@ -81,6 +81,7 @@ pub struct ClusterBuilder {
     backend: Backend,
     mailbox: Option<MailboxKind>,
     pin: Option<PinPolicy>,
+    workers: Option<usize>,
 }
 
 impl ClusterBuilder {
@@ -105,15 +106,27 @@ impl ClusterBuilder {
             backend: Backend::Simulated,
             mailbox: None,
             pin: None,
+            workers: None,
         }
     }
 
     /// Select the execution backend: the deterministic simulator (default,
-    /// the correctness/parity oracle) or one OS thread per node (real
-    /// wall-clock throughput). Same engines, protocols and workloads
-    /// either way.
+    /// the correctness/parity oracle), one OS thread per node (real
+    /// wall-clock throughput), or a fixed worker pool multiplexing every
+    /// node (real wall clock at partition counts far beyond the core
+    /// count). Same engines, protocols and workloads either way.
     pub fn runtime(&mut self, b: Backend) -> &mut Self {
         self.backend = b;
+        self
+    }
+
+    /// Size the async backend's worker pool explicitly. Defaults to the
+    /// `CHILLER_WORKERS` environment knob, falling back to the detected
+    /// host parallelism; always clamped to the node count. Ignored by
+    /// the simulated and threaded backends (the former has no workers,
+    /// the latter is one-thread-per-engine by definition).
+    pub fn workers(&mut self, n: usize) -> &mut Self {
+        self.workers = Some(n);
         self
     }
 
@@ -362,6 +375,18 @@ impl ClusterBuilder {
                     pin,
                 },
             )),
+            // The async backend multiplexes the same engines onto a
+            // fixed pool — also unmodelled wall clock, but sized for
+            // partition counts far beyond the host's cores.
+            Backend::Async => Box::new(AsyncRuntime::with_config(
+                actors,
+                AsyncConfig {
+                    capacity: DEFAULT_MAILBOX_CAPACITY,
+                    mailbox,
+                    workers: self.workers,
+                    pin,
+                },
+            )),
         };
         Ok(Cluster { rt, adaptive })
     }
@@ -457,6 +482,7 @@ impl Cluster {
             elapsed,
             wall,
             self.rt.pinned(),
+            self.rt.workers(),
             self.rt.stats(),
             self.rt.actors().iter().map(EngineActor::report).collect(),
         )

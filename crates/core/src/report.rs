@@ -25,6 +25,11 @@ pub struct RunReport {
     /// (non-Linux, restricted cpusets) — so A/B rows labelled from this
     /// field are honest about what actually ran.
     pub pinned: bool,
+    /// OS worker threads that drove the run: 0 on the simulator, one per
+    /// engine on the threaded backend, the fixed pool size on the async
+    /// backend. Distinguishes a 1000-engine run on 1000 threads from the
+    /// same run multiplexed onto 4.
+    pub workers: usize,
     /// Merged metrics across engines.
     pub metrics: MetricSet,
     /// Network counters for the whole run (including warm-up).
@@ -39,6 +44,7 @@ impl RunReport {
         elapsed: Duration,
         wall_elapsed: std::time::Duration,
         pinned: bool,
+        workers: usize,
         net: NetStats,
         per_node: Vec<EngineReport>,
     ) -> RunReport {
@@ -51,6 +57,7 @@ impl RunReport {
             elapsed,
             wall_elapsed,
             pinned,
+            workers,
             metrics,
             net,
             per_node,

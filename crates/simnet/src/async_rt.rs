@@ -1,0 +1,1213 @@
+//! The async multiplexing backend: thousands of engines on a fixed
+//! worker pool.
+//!
+//! The threaded backend ([`crate::ThreadedRuntime`]) dedicates one OS
+//! thread to each engine — faithful to the paper's one-engine-per-core
+//! deployment, but it caps the cluster at roughly the host's core count.
+//! This backend breaks that cap: engines are inert [`Actor`] state
+//! machines already, so they become *tasks* on a work-stealing ready
+//! queue (`taskq`), driven by `N = CHILLER_WORKERS` workers (default =
+//! detected parallelism). A 1000-partition cluster runs on a laptop.
+//!
+//! ## Executor model
+//!
+//! Each engine id has a `taskq::SchedState` (IDLE / QUEUED / RUNNING /
+//! DIRTY) guaranteeing the id sits in the ready queue at most once and
+//! that wakeups are never lost: delivering work to an engine calls
+//! `notify()`, which either enqueues the id (IDLE), finds it already
+//! scheduled, or marks the in-flight run DIRTY so the runner re-enqueues
+//! it on finish. A popped engine runs **exclusively** on one worker —
+//! the state machine is the mutual-exclusion proof; the `Mutex` around
+//! each engine slot is uncontended by construction and exists to move
+//! ownership safely between workers and the paused-phase main thread.
+//!
+//! ## What carries over from the threaded backend, and how
+//!
+//! The PR-4/5 protocols are load-bearing and survive verbatim, adapted
+//! from thread granularity to engine granularity:
+//!
+//! * **Never-blocking sends, global-FIFO flush** — each engine parks
+//!   remote sends in a per-engine `pending` queue, flushed in send order
+//!   across *all* destinations and stalling entirely at the first full
+//!   mailbox (cross-destination send order is replica-divergence-
+//!   critical; see DESIGN.md §11–12). A stalled engine is simply
+//!   re-enqueued instead of its thread spinning: the destinations are
+//!   drained by the same pool, so capacity frees up and the retry makes
+//!   progress. Because an engine runs on one worker at a time, its flush
+//!   order is exactly the single-thread order the invariant needs.
+//! * **Quiescence** — the same global outstanding-work counter
+//!   (spawns − retirements), accumulated per engine and published in a
+//!   single atomic add *before* the flush, so no worker can consume a
+//!   message whose registration is pending. Workers exit when the
+//!   counter reads zero.
+//! * **Park/unpark** — idle workers use the same publish-then-recheck
+//!   handshake (`taskq::Parker`); making an engine ready wakes one
+//!   sleeping worker, and a missed race costs at most one bounded park.
+//!
+//! ## What changes
+//!
+//! * **Mailboxes are shared, not per-sender** — `ringq::mpsc::Producer`
+//!   pushes through `&self`, so all engines share **one** producer per
+//!   destination: O(n) outbox state instead of the threaded backend's
+//!   O(n²) per-sender clone matrix, which is what makes 1000 partitions
+//!   affordable. (The ring's ticket order still gives each destination
+//!   the cross-sender arrival FIFO the replication path relies on.)
+//! * **Timer wheels are per-worker, not per-engine** — each worker owns
+//!   a hashed [`TimerWheel`] plus a slab mapping wheel tokens to
+//!   `(engine, actor token)`. Expired entries are routed to the owning
+//!   engine's fire queue and the engine is notified; the engine fires
+//!   them at the start of its next run. Timer slop is therefore bounded
+//!   by park granularity plus queueing delay — this backend measures
+//!   scheduling scale, not timer fidelity (the threaded backend keeps
+//!   the spin-before-sleep precision story).
+//! * **`CHILLER_WORKERS`** sizes the pool (see [`crate::sizing`]).
+//!
+//! Run phases, pauses, control-plane injection ([`Runtime::actors_mut`],
+//! [`Runtime::with_actor_ctx`]) behave exactly as on the other backends:
+//! workers exist only inside scoped run phases; between phases the main
+//! thread has exclusive actor access, and in-flight messages, parked
+//! sends, armed timers and the ready queue itself survive the pause.
+
+use crate::affinity;
+use crate::runtime::{Actor, Backend, Clock, Ctx, Mailbox, NetStats, Runtime, Verb};
+use crate::sizing;
+use crate::threaded::{MailboxKind, PinPolicy, DEFAULT_MAILBOX_CAPACITY};
+use crate::timer_wheel::TimerWheel;
+use chiller_common::ids::NodeId;
+use chiller_common::time::{Duration, SimTime};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Longest a worker sleeps before re-checking the deadline, the ready
+/// queue and the quiescence counter (responsiveness, not correctness).
+const MAX_PARK_NS: u64 = 200_000;
+
+/// Most events (timer fires + messages) an engine handles per scheduling
+/// turn before it yields the worker: bounds both scheduling latency for
+/// other ready engines and the phase-control latency (deadline / event
+/// limit are re-checked between turns).
+const EVENT_BATCH: usize = 64;
+
+/// Construction options for an [`AsyncRuntime`].
+#[derive(Debug, Clone)]
+pub struct AsyncConfig {
+    /// Per-engine mailbox bound (messages). Rounded up to a power of two
+    /// by the ring mailboxes.
+    pub capacity: usize,
+    /// Mailbox implementation (shared with the threaded backend).
+    pub mailbox: MailboxKind,
+    /// Worker-pool size; `None` resolves `CHILLER_WORKERS` / detected
+    /// parallelism via [`sizing::async_workers`]. Clamped to the engine
+    /// count either way.
+    pub workers: Option<usize>,
+    /// Core-pinning policy for the pool's workers.
+    pub pin: PinPolicy,
+}
+
+impl Default for AsyncConfig {
+    /// Defaults resolve the environment knobs: capacity
+    /// [`DEFAULT_MAILBOX_CAPACITY`], mailbox from `CHILLER_MAILBOX`,
+    /// workers from `CHILLER_WORKERS`, pinning from `CHILLER_PIN`.
+    fn default() -> Self {
+        AsyncConfig {
+            capacity: DEFAULT_MAILBOX_CAPACITY,
+            mailbox: MailboxKind::from_env(),
+            workers: None,
+            pin: PinPolicy::from_env(),
+        }
+    }
+}
+
+/// A message in flight between two engines.
+struct Envelope<M> {
+    src: NodeId,
+    verb: Verb,
+    msg: M,
+}
+
+/// Receiving end of an engine's mailbox. Unlike the threaded backend
+/// there is no SPSC fast path: any worker may run any sending engine, so
+/// every mailbox is multi-producer by construction.
+enum Inbox<M> {
+    /// `sync_channel` fallback.
+    Channel(Receiver<Envelope<M>>),
+    /// Lock-free MPSC ring.
+    Ring(ringq::mpsc::Consumer<Envelope<M>>),
+}
+
+/// Outcome of a non-blocking receive.
+enum Recv<M> {
+    Msg(Envelope<M>),
+    Empty,
+}
+
+impl<M> Inbox<M> {
+    #[inline]
+    fn try_recv(&mut self) -> Recv<M> {
+        match self {
+            // A disconnect is impossible while the runtime lives (the
+            // shared outboxes hold every sender), so it reads as Empty.
+            Inbox::Channel(rx) => match rx.try_recv() {
+                Ok(env) => Recv::Msg(env),
+                Err(_) => Recv::Empty,
+            },
+            Inbox::Ring(rx) => match rx.pop() {
+                Some(env) => Recv::Msg(env),
+                None => Recv::Empty,
+            },
+        }
+    }
+}
+
+/// Sending end of one destination's mailbox — **one shared instance per
+/// destination**, used by every sender concurrently (`ringq` producers
+/// push through `&self`; `SyncSender` is `Sync`). This is the O(n)
+/// outbox layout that replaces the threaded backend's O(n²) per-sender
+/// clone matrix.
+enum SharedOutbox<M> {
+    Channel(SyncSender<Envelope<M>>),
+    Ring(ringq::mpsc::Producer<Envelope<M>>),
+}
+
+/// Outcome of a non-blocking send.
+enum SendOutcome<M> {
+    Ok,
+    Full(Envelope<M>),
+}
+
+impl<M> SharedOutbox<M> {
+    #[inline]
+    fn try_send(&self, env: Envelope<M>) -> SendOutcome<M> {
+        match self {
+            SharedOutbox::Channel(tx) => match tx.try_send(env) {
+                Ok(()) => SendOutcome::Ok,
+                Err(TrySendError::Full(env)) => SendOutcome::Full(env),
+                // Teardown-only; dropping is harmless (mirrors threaded).
+                Err(TrySendError::Disconnected(_)) => SendOutcome::Ok,
+            },
+            SharedOutbox::Ring(tx) => match tx.push(env) {
+                Ok(()) => SendOutcome::Ok,
+                Err(env) => SendOutcome::Full(env),
+            },
+        }
+    }
+}
+
+/// Per-engine state that persists across run phases. While a phase runs
+/// it lives inside the engine's slot (owned by whichever worker holds
+/// the engine); between phases it moves back into the runtime so the
+/// control plane can reach it without locks.
+struct EngineState<M> {
+    node: NodeId,
+    inbox: Inbox<M>,
+    /// Remote sends parked until this engine's next flush, in send order
+    /// across *all* destinations (global FIFO — see the module docs and
+    /// the threaded backend's `NodeState::pending` for why per-
+    /// destination order is not enough).
+    pending: VecDeque<(NodeId, Envelope<M>)>,
+    /// Self-sends: exactly one producer and one consumer (whichever
+    /// worker currently runs this engine), so a plain queue suffices.
+    local: VecDeque<Envelope<M>>,
+    /// Spawns (sends + armed timers) minus retirements not yet published
+    /// to `Shared::outstanding`.
+    outstanding_delta: i64,
+    /// Whether `on_start` has run.
+    started: bool,
+    stats: NetStats,
+}
+
+impl<M> EngineState<M> {
+    /// Publish the accumulated outstanding-work delta. Must run before
+    /// the engine's envelopes are flushed and before its worker may
+    /// check quiescence — same ordering argument as the threaded
+    /// backend's `publish_outstanding`.
+    #[inline]
+    fn publish_outstanding(&mut self, shared: &Shared<M>) {
+        if self.outstanding_delta != 0 {
+            shared
+                .outstanding
+                .fetch_add(self.outstanding_delta, Ordering::SeqCst);
+            self.outstanding_delta = 0;
+        }
+    }
+}
+
+/// An engine slot: actor + state, owned by at most one worker at a time.
+/// `None` only between phases (state is moved back into the runtime).
+/// The mutex is uncontended while a phase runs — the `SchedState`
+/// machine already serializes access — it exists to make the ownership
+/// handoff between workers (and the phase-boundary moves) safe Rust.
+struct EngineSlot<M, A> {
+    cell: Mutex<Option<Engine<M, A>>>,
+}
+
+struct Engine<M, A> {
+    actor: A,
+    st: EngineState<M>,
+}
+
+/// One worker's timer state: a hashed wheel whose tokens index a slab of
+/// `(engine, actor token)` pairs. Owned exclusively by worker `w` across
+/// all phases (`&mut` handed into the scoped thread), so timer arming
+/// and expiry are synchronization-free.
+struct WorkerTimers {
+    wheel: TimerWheel,
+    slab: Vec<(usize, u64)>,
+    free: Vec<usize>,
+    /// Scratch for expired batches (reused).
+    fired: Vec<(u64, u64)>,
+}
+
+impl WorkerTimers {
+    fn new() -> Self {
+        WorkerTimers {
+            wheel: TimerWheel::default(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            fired: Vec::new(),
+        }
+    }
+
+    /// Arm `token` for `engine` at absolute `due` ns.
+    fn arm(&mut self, due: u64, engine: usize, token: u64) {
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = (engine, token);
+                i
+            }
+            None => {
+                self.slab.push((engine, token));
+                self.slab.len() - 1
+            }
+        };
+        self.wheel.insert(due, idx as u64);
+    }
+}
+
+/// Coordination state shared by all workers during a phase (and by the
+/// control plane between phases).
+struct Shared<M> {
+    /// Origin of the monotonic wall clock.
+    start: Instant,
+    /// Queued messages + armed timers + handlers mid-flight, cluster-wide.
+    outstanding: AtomicI64,
+    /// Wall-clock deadline (ns since `start`) of the current phase.
+    deadline_ns: AtomicU64,
+    /// Runaway guard for `run_to_quiescence`.
+    event_limit: AtomicU64,
+    /// Total events processed (published per engine turn — approximate
+    /// while a turn is mid-flight).
+    events: AtomicU64,
+    /// One shared sender per destination engine (O(n) total).
+    outboxes: Vec<SharedOutbox<M>>,
+    /// Per-engine scheduling state machines.
+    scheds: Vec<taskq::SchedState>,
+    /// Per-engine expired-timer tokens awaiting delivery (pushed by the
+    /// worker whose wheel expired them, drained by the engine's runner).
+    fires: Vec<Mutex<VecDeque<u64>>>,
+    /// The ready queue of engine ids.
+    queue: taskq::TaskQueue,
+    /// One park slot per *worker* (not per engine).
+    parkers: Vec<taskq::Parker>,
+    /// Set when any worker's `sched_setaffinity` call fails.
+    pin_failed: AtomicBool,
+}
+
+impl<M> Shared<M> {
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    #[inline]
+    fn limit_hit(&self) -> bool {
+        self.events.load(Ordering::Relaxed) >= self.event_limit.load(Ordering::Relaxed)
+    }
+
+    /// Make engine `e` ready: hand the enqueue duty through its state
+    /// machine, push onto the caller's local deque (worker context) or
+    /// the injector (control plane), and wake one sleeping worker.
+    fn notify(&self, e: usize, from_worker: Option<usize>) {
+        if self.scheds[e].notify() {
+            match from_worker {
+                Some(w) => self.queue.push_local(w, e),
+                None => self.queue.inject(e),
+            }
+            self.wake_one(from_worker);
+        }
+    }
+
+    /// Wake one sleeping worker (skipping the caller, which is awake).
+    fn wake_one(&self, except: Option<usize>) {
+        for (i, p) in self.parkers.iter().enumerate() {
+            if Some(i) != except && p.wake() {
+                return;
+            }
+        }
+    }
+}
+
+/// A fixed pool of workers multiplexing every engine. See the module
+/// docs for the executor model; see [`crate::ThreadedRuntime`] for the
+/// protocols this backend inherits.
+pub struct AsyncRuntime<M, A> {
+    /// Actors, in node order — populated between phases, drained into
+    /// the slots while a phase runs.
+    actors: Vec<A>,
+    /// Engine states, same lifecycle as `actors`.
+    states: Vec<EngineState<M>>,
+    slots: Vec<EngineSlot<M, A>>,
+    /// One timer domain per worker, `&mut`-borrowed by that worker
+    /// during phases.
+    worker_timers: Vec<WorkerTimers>,
+    shared: Shared<M>,
+    nworkers: usize,
+    started: bool,
+    mailbox: MailboxKind,
+    pin: PinPolicy,
+    /// CPUs the process may use (empty when pinning is off/unknown).
+    pin_cpus: Vec<usize>,
+}
+
+impl<M: Send, A: Actor<M> + Send> AsyncRuntime<M, A> {
+    /// Build an async runtime over the given actors; actor `i` runs as
+    /// engine `NodeId(i)`. All knobs resolve from the environment (see
+    /// [`AsyncConfig::default`]).
+    pub fn new(actors: Vec<A>) -> Self {
+        Self::with_config(actors, AsyncConfig::default())
+    }
+
+    /// Build with explicit options.
+    pub fn with_config(actors: Vec<A>, cfg: AsyncConfig) -> Self {
+        assert!(
+            cfg.capacity >= 1,
+            "mailboxes must hold at least one message"
+        );
+        let n = actors.len();
+        let nworkers = cfg
+            .workers
+            .map(|w| w.clamp(1, n.max(1)))
+            .unwrap_or_else(|| sizing::async_workers(n));
+        let mut inboxes: Vec<Inbox<M>> = Vec::with_capacity(n);
+        let mut outboxes: Vec<SharedOutbox<M>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            match cfg.mailbox {
+                MailboxKind::Channel => {
+                    let (tx, rx) = sync_channel(cfg.capacity);
+                    inboxes.push(Inbox::Channel(rx));
+                    outboxes.push(SharedOutbox::Channel(tx));
+                }
+                MailboxKind::Ring => {
+                    let (tx, rx) = ringq::mpsc::bounded(cfg.capacity);
+                    inboxes.push(Inbox::Ring(rx));
+                    outboxes.push(SharedOutbox::Ring(tx));
+                }
+            }
+        }
+        let states: Vec<EngineState<M>> = inboxes
+            .into_iter()
+            .enumerate()
+            .map(|(i, inbox)| EngineState {
+                node: NodeId(i as u32),
+                inbox,
+                pending: VecDeque::new(),
+                local: VecDeque::new(),
+                outstanding_delta: 0,
+                started: false,
+                stats: NetStats::default(),
+            })
+            .collect();
+        let pin_cpus = match cfg.pin {
+            PinPolicy::Off => Vec::new(),
+            PinPolicy::Cores => affinity::allowed_cpus(),
+        };
+        AsyncRuntime {
+            actors,
+            states,
+            slots: (0..n)
+                .map(|_| EngineSlot {
+                    cell: Mutex::new(None),
+                })
+                .collect(),
+            worker_timers: (0..nworkers).map(|_| WorkerTimers::new()).collect(),
+            shared: Shared {
+                start: Instant::now(),
+                outstanding: AtomicI64::new(0),
+                deadline_ns: AtomicU64::new(0),
+                event_limit: AtomicU64::new(u64::MAX),
+                events: AtomicU64::new(0),
+                outboxes,
+                scheds: (0..n).map(|_| taskq::SchedState::new()).collect(),
+                fires: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+                queue: taskq::TaskQueue::new(nworkers),
+                parkers: (0..nworkers).map(|_| taskq::Parker::new()).collect(),
+                pin_failed: AtomicBool::new(false),
+            },
+            nworkers,
+            started: false,
+            mailbox: cfg.mailbox,
+            pin: cfg.pin,
+            pin_cpus,
+        }
+    }
+
+    /// The mailbox implementation this runtime was built with.
+    pub fn mailbox_kind(&self) -> MailboxKind {
+        self.mailbox
+    }
+
+    /// The worker-pool size (fixed at construction).
+    pub fn worker_count(&self) -> usize {
+        self.nworkers
+    }
+
+    /// The timer domain of engine `node` for control-plane injection:
+    /// timers armed while paused go to the engine's home worker's wheel.
+    /// (While running, timers go to whichever worker is running the
+    /// engine — domains only affect which thread fires them.)
+    fn home_worker(&self, node: usize) -> usize {
+        node % self.nworkers
+    }
+
+    /// Run one phase: move actors+states into the slots, spawn the
+    /// worker pool (scoped), join when every worker has hit the deadline,
+    /// observed quiescence, or tripped the event limit; then move the
+    /// state back. Returns events processed during the phase.
+    fn run_phase(&mut self, deadline_ns: u64, max_events: u64) -> u64 {
+        let n = self.actors.len();
+        let first = !self.started;
+        if first {
+            self.started = true;
+            // Startup hold: no worker may observe "quiescent" before
+            // every engine's on_start has armed its initial work.
+            self.shared
+                .outstanding
+                .fetch_add(n as i64, Ordering::SeqCst);
+            // Seed the ready queue round-robin across the workers'
+            // deques so on_start work spreads without stealing.
+            for e in 0..n {
+                if self.shared.scheds[e].notify() {
+                    self.shared.queue.push_local(e % self.nworkers, e);
+                }
+            }
+        }
+        self.shared.deadline_ns.store(deadline_ns, Ordering::SeqCst);
+        let before = self.shared.events.load(Ordering::SeqCst);
+        self.shared
+            .event_limit
+            .store(before.saturating_add(max_events), Ordering::SeqCst);
+        // Hand each engine to the pool.
+        for (e, (actor, st)) in self.actors.drain(..).zip(self.states.drain(..)).enumerate() {
+            *self.slots[e].cell.lock().expect("engine slot lock") = Some(Engine { actor, st });
+        }
+        let shared = &self.shared;
+        let slots = &self.slots;
+        let pin_cpus = &self.pin_cpus;
+        std::thread::scope(|scope| {
+            for (w, timers) in self.worker_timers.iter_mut().enumerate() {
+                let pin = (!pin_cpus.is_empty()).then(|| pin_cpus[w % pin_cpus.len()]);
+                scope.spawn(move || worker_loop(w, timers, shared, slots, pin));
+            }
+        });
+        // Reclaim the engines for the paused control plane.
+        for slot in &self.slots {
+            let eng = slot
+                .cell
+                .lock()
+                .expect("engine slot lock")
+                .take()
+                .expect("engine present at phase end");
+            self.actors.push(eng.actor);
+            self.states.push(eng.st);
+        }
+        self.shared.events.load(Ordering::SeqCst) - before
+    }
+
+    /// Whether this runtime's workers are pinned (same honesty contract
+    /// as the threaded backend: requested, resolvable, ran, never failed).
+    fn pinned_now(&self) -> bool {
+        self.pin == PinPolicy::Cores
+            && !self.pin_cpus.is_empty()
+            && self.started
+            && !self.shared.pin_failed.load(Ordering::Relaxed)
+    }
+}
+
+/// Push parked sends into their destination mailboxes in send order,
+/// stalling entirely at the first full mailbox (global-FIFO invariant —
+/// see `EngineState::pending`). Successful deliveries notify the
+/// destination engine. Returns how many envelopes were delivered.
+fn flush_pending<M>(st: &mut EngineState<M>, shared: &Shared<M>, w: usize) -> u64 {
+    let mut delivered = 0;
+    while let Some((dst, env)) = st.pending.pop_front() {
+        match shared.outboxes[dst.idx()].try_send(env) {
+            SendOutcome::Ok => {
+                delivered += 1;
+                shared.notify(dst.idx(), Some(w));
+            }
+            SendOutcome::Full(env) => {
+                st.pending.push_front((dst, env));
+                break;
+            }
+        }
+    }
+    delivered
+}
+
+/// Expire worker `w`'s due timers: route each expired token to its
+/// engine's fire queue and notify the engine. Returns how many expired.
+fn expire_timers<M>(timers: &mut WorkerTimers, shared: &Shared<M>, w: usize) -> usize {
+    let mut batch = std::mem::take(&mut timers.fired);
+    batch.clear();
+    timers.wheel.pop_expired(shared.now_ns(), &mut batch);
+    let count = batch.len();
+    for &(_due, slab_idx) in &batch {
+        let (engine, token) = timers.slab[slab_idx as usize];
+        timers.free.push(slab_idx as usize);
+        shared.fires[engine]
+            .lock()
+            .expect("fire queue lock")
+            .push_back(token);
+        shared.notify(engine, Some(w));
+    }
+    timers.fired = batch;
+    count
+}
+
+/// One scheduling turn of engine `e` on worker `w`: run `on_start` if
+/// needed, fire queued timer tokens, drain up to [`EVENT_BATCH`] events,
+/// publish bookkeeping, flush parked sends, then hand the engine back to
+/// the state machine (re-enqueueing when observable work remains).
+///
+/// Returns whether the turn made progress (handled an event or delivered
+/// a parked envelope). A zero-progress turn means the engine exists only
+/// to retry a stalled flush — the worker yields its timeslice so the
+/// destination's worker can drain (on oversubscribed hosts the retry
+/// loop would otherwise starve the very engine it is waiting on).
+fn run_engine<M, A: Actor<M>>(
+    e: usize,
+    w: usize,
+    timers: &mut WorkerTimers,
+    shared: &Shared<M>,
+    slots: &[EngineSlot<M, A>],
+) -> bool {
+    shared.scheds[e].begin();
+    let mut guard = slots[e].cell.lock().expect("engine slot lock");
+    let eng = guard.as_mut().expect("engine present during phase");
+    let (actor, st) = (&mut eng.actor, &mut eng.st);
+
+    if !st.started {
+        st.started = true;
+        {
+            let mut mb = AsyncMailbox { st, timers, shared };
+            let mut ctx = Ctx::from_mailbox(&mut mb);
+            actor.on_start(&mut ctx);
+        }
+        st.publish_outstanding(shared);
+        // Release this engine's startup hold.
+        shared.outstanding.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    let mut handled = 0u64;
+
+    // 1. Fire expired timer tokens routed here by the worker wheels.
+    //    Drained in bounded chunks so a timer storm cannot monopolize
+    //    the worker past the batch budget.
+    while handled < EVENT_BATCH as u64 {
+        let token = {
+            let mut q = shared.fires[e].lock().expect("fire queue lock");
+            match q.pop_front() {
+                Some(t) => t,
+                None => break,
+            }
+        };
+        st.stats.timer_fires += 1;
+        st.stats.events_processed += 1;
+        handled += 1;
+        let mut mb = AsyncMailbox { st, timers, shared };
+        let mut ctx = Ctx::from_mailbox(&mut mb);
+        actor.on_timer(&mut ctx, token);
+    }
+
+    // 2. Drain messages: self-sends first (no synchronization), then the
+    //    shared inbox. `drained_dry` records whether we stopped because
+    //    the sources were empty (vs the batch budget) — the has_more
+    //    computation must not depend on peeking a channel.
+    let mut drained_dry = false;
+    while handled < EVENT_BATCH as u64 {
+        if let Some(env) = st.local.pop_front() {
+            st.stats.events_processed += 1;
+            handled += 1;
+            let mut mb = AsyncMailbox { st, timers, shared };
+            let mut ctx = Ctx::from_mailbox(&mut mb);
+            actor.on_message(&mut ctx, env.src, env.verb, env.msg);
+            continue;
+        }
+        match st.inbox.try_recv() {
+            Recv::Msg(env) => {
+                st.stats.events_processed += 1;
+                handled += 1;
+                let mut mb = AsyncMailbox { st, timers, shared };
+                let mut ctx = Ctx::from_mailbox(&mut mb);
+                actor.on_message(&mut ctx, env.src, env.verb, env.msg);
+            }
+            Recv::Empty => {
+                drained_dry = true;
+                break;
+            }
+        }
+    }
+
+    // 3. Retire the batch and publish the delta *before* flushing, so
+    //    the registration of every spawned message precedes its
+    //    availability (quiescence soundness — see module docs).
+    if handled > 0 {
+        shared.events.fetch_add(handled, Ordering::Relaxed);
+        st.outstanding_delta -= handled as i64;
+    }
+    st.publish_outstanding(shared);
+    let delivered = flush_pending(st, shared, w);
+
+    // 4. Observable work left? Un-drained sources, a stalled flush, or
+    //    timer tokens that arrived while we ran. Anything that arrives
+    //    after this check is covered by notify(): the state machine is
+    //    RUNNING, so the producer marks it DIRTY and finish() converts
+    //    that into a re-enqueue.
+    let has_more = !drained_dry
+        || !st.pending.is_empty()
+        || !shared.fires[e].lock().expect("fire queue lock").is_empty();
+    drop(guard);
+    if shared.scheds[e].finish(has_more) {
+        shared.queue.push_local(w, e);
+        // No wake: this worker just freed up and pops it next turn, and
+        // siblings steal it if they idle first.
+    }
+    handled > 0 || delivered > 0
+}
+
+/// The worker loop: expire own timers, run one ready engine, re-check
+/// phase controls; park when idle. The loop invariant matches the
+/// threaded backend: every engine's `outstanding_delta` is published
+/// whenever no worker holds it, so the quiescence check is sound.
+fn worker_loop<M, A: Actor<M>>(
+    w: usize,
+    timers: &mut WorkerTimers,
+    shared: &Shared<M>,
+    slots: &[EngineSlot<M, A>],
+    pin: Option<usize>,
+) {
+    if let Some(cpu) = pin {
+        if !affinity::pin_current_thread(cpu) {
+            shared.pin_failed.store(true, Ordering::Relaxed);
+        }
+    }
+    shared.parkers[w].register();
+    loop {
+        let deadline = shared.deadline_ns.load(Ordering::SeqCst);
+        if shared.now_ns() >= deadline {
+            return; // Pause: all state survives for the next phase.
+        }
+        if shared.limit_hit() {
+            return; // Runaway guard tripped.
+        }
+
+        expire_timers(timers, shared, w);
+
+        if let Some(e) = shared.queue.pop(w) {
+            if !run_engine(e, w, timers, shared, slots) {
+                // Pure flush-stall retry: give the destination's worker
+                // the CPU before spinning another fruitless turn.
+                std::thread::yield_now();
+            }
+            continue;
+        }
+
+        // Nothing ready here; if nothing is outstanding anywhere, the
+        // cluster is quiescent.
+        if shared.outstanding.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+
+        // Idle: park until this worker's next timer, the deadline, or a
+        // bounded tick — whichever is first. Ready-queue pushes wake us.
+        let now = shared.now_ns();
+        let wake = timers
+            .wheel
+            .next_due()
+            .unwrap_or(u64::MAX)
+            .min(deadline)
+            .min(now.saturating_add(MAX_PARK_NS));
+        let parker = &shared.parkers[w];
+        parker.prepare_park();
+        // Re-check after publishing the flag (the handshake's re-check
+        // leg): a push that happened before the publish is ours to see.
+        if shared.queue.has_ready() || shared.outstanding.load(Ordering::SeqCst) == 0 {
+            parker.cancel_park();
+            continue;
+        }
+        parker.park_timeout(wake.saturating_sub(now).max(1));
+    }
+}
+
+impl<M: Send, A: Actor<M> + Send> Clock for AsyncRuntime<M, A> {
+    fn now(&self) -> SimTime {
+        SimTime(self.shared.now_ns())
+    }
+}
+
+impl<M: Send, A: Actor<M> + Send> Runtime<M, A> for AsyncRuntime<M, A> {
+    fn backend(&self) -> Backend {
+        Backend::Async
+    }
+
+    fn stats(&self) -> NetStats {
+        let mut merged = NetStats::default();
+        for st in &self.states {
+            merged.merge(&st.stats);
+        }
+        merged
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.actors.len()
+    }
+
+    fn actors(&self) -> &[A] {
+        &self.actors
+    }
+
+    fn actors_mut(&mut self) -> &mut [A] {
+        &mut self.actors
+    }
+
+    fn run_until(&mut self, until: SimTime) -> u64 {
+        self.run_phase(until.as_nanos(), u64::MAX)
+    }
+
+    fn run_to_quiescence(&mut self, max_events: u64) -> u64 {
+        self.run_phase(u64::MAX, max_events)
+    }
+
+    fn pinned(&self) -> bool {
+        self.pinned_now()
+    }
+
+    fn workers(&self) -> usize {
+        self.nworkers
+    }
+
+    fn with_actor_ctx(&mut self, node: NodeId, f: &mut dyn FnMut(&mut A, &mut Ctx<'_, M>)) {
+        let e = node.idx();
+        let w = self.home_worker(e);
+        let st = &mut self.states[e];
+        {
+            let mut mb = AsyncMailbox {
+                st,
+                timers: &mut self.worker_timers[w],
+                shared: &self.shared,
+            };
+            let mut ctx = Ctx::from_mailbox(&mut mb);
+            f(&mut self.actors[e], &mut ctx);
+        }
+        // Register injected sends/timers now; the envelopes themselves
+        // stay parked until the engine's first turn next phase — which
+        // the notify below guarantees happens.
+        st.publish_outstanding(&self.shared);
+        if !st.pending.is_empty() || !st.local.is_empty() {
+            self.shared.notify(e, None);
+        }
+    }
+}
+
+/// The async backend's [`Mailbox`]: same send/timer semantics as the
+/// threaded backend's, but timers go to the *current worker's* wheel and
+/// sends park in the *engine's* pending queue.
+struct AsyncMailbox<'a, M> {
+    st: &'a mut EngineState<M>,
+    timers: &'a mut WorkerTimers,
+    shared: &'a Shared<M>,
+}
+
+impl<M> Mailbox<M> for AsyncMailbox<'_, M> {
+    #[inline]
+    fn now(&self) -> SimTime {
+        SimTime(self.shared.now_ns())
+    }
+
+    #[inline]
+    fn node(&self) -> NodeId {
+        self.st.node
+    }
+
+    fn send(&mut self, dst: NodeId, verb: Verb, msg: M) {
+        let src = self.st.node;
+        self.st.outstanding_delta += 1;
+        if src == dst {
+            self.st.stats.local_msgs += 1;
+            self.st.local.push_back(Envelope { src, verb, msg });
+        } else {
+            match verb {
+                Verb::OneSided => self.st.stats.one_sided_msgs += 1,
+                Verb::Rpc => self.st.stats.rpc_msgs += 1,
+            }
+            self.st
+                .pending
+                .push_back((dst, Envelope { src, verb, msg }));
+        }
+    }
+
+    fn set_timer(&mut self, d: Duration, token: u64) {
+        self.st.outstanding_delta += 1;
+        let due = self.shared.now_ns().saturating_add(d.as_nanos());
+        self.timers.arm(due, self.st.node.idx(), token);
+    }
+
+    fn set_timer_when_free(&mut self, d: Duration, token: u64) {
+        // No modelled busy horizon on real threads (same as threaded).
+        self.set_timer(d, token);
+    }
+
+    fn use_cpu(&mut self, _d: Duration) {
+        // Real CPU is consumed by actually executing the handler.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Mirrors the threaded backend's test roles so the two executors
+    /// face the same conformance suite.
+    enum TestActor {
+        Pinger {
+            count: u64,
+            replies: u64,
+        },
+        Echo {
+            received: Vec<(NodeId, u64)>,
+        },
+        Recorder {
+            received: Vec<u64>,
+        },
+        Ticker {
+            fired: u64,
+            limit: u64,
+            delay_ns: u64,
+        },
+        Relay {
+            next: NodeId,
+            received: u64,
+        },
+    }
+
+    impl Actor<u64> for TestActor {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            match self {
+                TestActor::Pinger { count, .. } => {
+                    for i in 0..*count {
+                        ctx.send(NodeId(1), Verb::OneSided, i);
+                    }
+                }
+                TestActor::Ticker { delay_ns, .. } => {
+                    ctx.set_timer(Duration::from_nanos(*delay_ns), 1)
+                }
+                _ => {}
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, src: NodeId, verb: Verb, msg: u64) {
+            match self {
+                TestActor::Pinger { replies, .. } => *replies += 1,
+                TestActor::Echo { received } => {
+                    received.push((src, msg));
+                    if msg < 1000 {
+                        ctx.send(src, verb, msg + 1000);
+                    }
+                }
+                TestActor::Recorder { received } => received.push(msg),
+                TestActor::Ticker { .. } => {}
+                TestActor::Relay { next, received } => {
+                    *received += 1;
+                    if msg > 0 {
+                        ctx.send(*next, verb, msg - 1);
+                    }
+                }
+            }
+        }
+
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, u64>, token: u64) {
+            if let TestActor::Ticker {
+                fired,
+                limit,
+                delay_ns,
+            } = self
+            {
+                *fired += 1;
+                if fired < limit {
+                    ctx.set_timer(Duration::from_nanos(*delay_ns), token);
+                }
+            }
+        }
+    }
+
+    fn replies(a: &TestActor) -> u64 {
+        match a {
+            TestActor::Pinger { replies, .. } => *replies,
+            _ => 0,
+        }
+    }
+
+    fn config(mailbox: MailboxKind, capacity: usize, workers: usize) -> AsyncConfig {
+        AsyncConfig {
+            capacity,
+            mailbox,
+            workers: Some(workers),
+            pin: PinPolicy::Off,
+        }
+    }
+
+    #[test]
+    fn ping_pong_reaches_quiescence() {
+        let mut rt = AsyncRuntime::with_config(
+            vec![
+                TestActor::Pinger {
+                    count: 500,
+                    replies: 0,
+                },
+                TestActor::Echo {
+                    received: Vec::new(),
+                },
+            ],
+            config(MailboxKind::Ring, 64, 2),
+        );
+        rt.run_to_quiescence(u64::MAX);
+        assert_eq!(replies(&rt.actors()[0]), 500);
+        let stats = rt.stats();
+        assert_eq!(stats.one_sided_msgs, 1000);
+        assert_eq!(stats.events_processed, 1000);
+    }
+
+    #[test]
+    fn ping_pong_on_both_mailbox_kinds_and_any_pool_size() {
+        for kind in [MailboxKind::Ring, MailboxKind::Channel] {
+            for workers in [1usize, 2, 4] {
+                let mut actors = vec![
+                    TestActor::Pinger {
+                        count: 300,
+                        replies: 0,
+                    },
+                    TestActor::Echo {
+                        received: Vec::new(),
+                    },
+                ];
+                for _ in 0..3 {
+                    actors.push(TestActor::Recorder {
+                        received: Vec::new(),
+                    });
+                }
+                let mut rt = AsyncRuntime::with_config(actors, config(kind, 64, workers));
+                rt.run_to_quiescence(u64::MAX);
+                assert_eq!(
+                    replies(&rt.actors()[0]),
+                    300,
+                    "{kind} mailbox with {workers} workers lost replies"
+                );
+                assert_eq!(rt.mailbox_kind(), kind);
+                assert_eq!(rt.worker_count(), workers);
+            }
+        }
+    }
+
+    /// Per-link FIFO through the shared-producer mailboxes, with a tiny
+    /// capacity so most sends overflow into the parked-flush path and
+    /// the stall-and-requeue logic runs constantly.
+    #[test]
+    fn per_link_fifo_survives_mailbox_overflow() {
+        let n = 500u64;
+        for kind in [MailboxKind::Ring, MailboxKind::Channel] {
+            let mut rt = AsyncRuntime::with_config(
+                vec![
+                    TestActor::Pinger {
+                        count: n,
+                        replies: 0,
+                    },
+                    TestActor::Recorder {
+                        received: Vec::new(),
+                    },
+                ],
+                config(kind, 4, 2),
+            );
+            rt.run_to_quiescence(u64::MAX);
+            let TestActor::Recorder { received } = &rt.actors()[1] else {
+                panic!("node 1 is the recorder");
+            };
+            assert_eq!(received, &(0..n).collect::<Vec<_>>(), "{kind} reordered");
+        }
+    }
+
+    /// 1000 engines on a 4-worker pool: the multiplexing headline in
+    /// miniature. A relay ring where every engine forwards to the next —
+    /// every hop crosses engines, so the ready queue, stealing and the
+    /// notify protocol all churn.
+    #[test]
+    fn thousand_engines_on_four_workers() {
+        let n = 1000usize;
+        let hops = 10_000u64;
+        let actors: Vec<TestActor> = (0..n)
+            .map(|i| TestActor::Relay {
+                next: NodeId(((i + 1) % n) as u32),
+                received: 0,
+            })
+            .collect();
+        let mut rt = AsyncRuntime::with_config(actors, config(MailboxKind::Ring, 64, 4));
+        rt.with_actor_ctx(NodeId(0), &mut |_a, ctx| {
+            ctx.send(NodeId(1), Verb::OneSided, hops - 1);
+        });
+        rt.run_to_quiescence(u64::MAX);
+        let total: u64 = rt
+            .actors()
+            .iter()
+            .map(|a| match a {
+                TestActor::Relay { received, .. } => *received,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(total, hops, "relay ring lost hops");
+    }
+
+    #[test]
+    fn quiescence_waits_for_chained_cascades() {
+        let hops = 10_000u64;
+        let mut rt = AsyncRuntime::with_config(
+            vec![
+                TestActor::Relay {
+                    next: NodeId(1),
+                    received: 0,
+                },
+                TestActor::Relay {
+                    next: NodeId(0),
+                    received: 0,
+                },
+            ],
+            config(MailboxKind::Ring, 64, 2),
+        );
+        rt.with_actor_ctx(NodeId(0), &mut |_a, ctx| {
+            ctx.send(NodeId(1), Verb::OneSided, hops - 1);
+        });
+        rt.run_to_quiescence(u64::MAX);
+        let total: u64 = rt
+            .actors()
+            .iter()
+            .map(|a| match a {
+                TestActor::Relay { received, .. } => *received,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(total, hops, "cascade cut short by premature quiescence");
+    }
+
+    #[test]
+    fn timers_fire_and_pause_resumes() {
+        let mut rt = AsyncRuntime::with_config(
+            vec![TestActor::Ticker {
+                fired: 0,
+                limit: 20,
+                delay_ns: 50_000,
+            }],
+            config(MailboxKind::Ring, 64, 1),
+        );
+        let start = rt.now();
+        rt.run_until(start + Duration::from_micros(300));
+        let TestActor::Ticker { fired: mid, .. } = rt.actors()[0] else {
+            panic!()
+        };
+        rt.run_to_quiescence(u64::MAX);
+        let TestActor::Ticker { fired, .. } = rt.actors()[0] else {
+            panic!()
+        };
+        assert!(fired >= mid);
+        assert_eq!(fired, 20);
+        assert_eq!(rt.stats().timer_fires, 20);
+    }
+
+    #[test]
+    fn control_plane_injection_between_phases() {
+        let mut rt = AsyncRuntime::with_config(
+            vec![
+                TestActor::Pinger {
+                    count: 0,
+                    replies: 0,
+                },
+                TestActor::Echo {
+                    received: Vec::new(),
+                },
+            ],
+            config(MailboxKind::Ring, 64, 2),
+        );
+        rt.run_to_quiescence(u64::MAX);
+        rt.with_actor_ctx(NodeId(0), &mut |_a, ctx| {
+            assert_eq!(ctx.node(), NodeId(0));
+            ctx.send(NodeId(1), Verb::Rpc, 7);
+        });
+        rt.run_to_quiescence(u64::MAX);
+        let TestActor::Echo { received } = &rt.actors()[1] else {
+            panic!()
+        };
+        assert_eq!(received.len(), 1);
+        assert_eq!(replies(&rt.actors()[0]), 1);
+    }
+
+    #[test]
+    fn event_limit_bounds_runaway_loops() {
+        let mut rt = AsyncRuntime::with_config(
+            vec![TestActor::Ticker {
+                fired: 0,
+                limit: u64::MAX,
+                delay_ns: 50_000,
+            }],
+            config(MailboxKind::Ring, 64, 1),
+        );
+        rt.run_to_quiescence(10);
+        let TestActor::Ticker { fired, .. } = rt.actors()[0] else {
+            panic!()
+        };
+        assert!(fired >= 10, "guard must not fire before the limit");
+        assert!(fired < 1000, "guard must stop the runaway ticker");
+    }
+
+    #[test]
+    fn zero_delay_timer_rearm_cannot_hang_a_phase() {
+        let mut rt = AsyncRuntime::with_config(
+            vec![TestActor::Ticker {
+                fired: 0,
+                limit: u64::MAX,
+                delay_ns: 0,
+            }],
+            config(MailboxKind::Ring, 64, 1),
+        );
+        rt.run_to_quiescence(1_000);
+        let TestActor::Ticker { fired, .. } = rt.actors()[0] else {
+            panic!()
+        };
+        assert!(fired >= 1_000, "guard must not fire before the limit");
+        assert!(fired < 100_000, "guard must stop the zero-delay ticker");
+    }
+
+    #[test]
+    fn clock_is_monotonic_and_workers_reported() {
+        let rt = AsyncRuntime::<u64, TestActor>::with_config(
+            vec![TestActor::Recorder {
+                received: Vec::new(),
+            }],
+            config(MailboxKind::Ring, 64, 1),
+        );
+        let a = rt.now();
+        let b = rt.now();
+        assert!(b >= a);
+        assert_eq!(rt.workers(), 1);
+        assert_eq!(rt.backend(), Backend::Async);
+    }
+}

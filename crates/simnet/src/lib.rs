@@ -14,19 +14,26 @@
 //!   mailboxes and a monotonic wall clock. No modelled latencies: it
 //!   measures what the machine actually sustains, so it serves as the
 //!   hardware **benchmark** path.
+//! * [`AsyncRuntime`] — a fixed worker pool multiplexing every node over
+//!   a work-stealing ready queue, so thousands of partitions run on a
+//!   handful of OS threads. The hardware **scale** path.
 //!
-//! Both implement the [`Runtime`] trait over the same [`Actor`] surface;
-//! the transaction engines in `chiller-cc` are [`Actor`]s plugged into
-//! either backend unchanged. See [`runtime`] for the trait contracts.
+//! All three implement the [`Runtime`] trait over the same [`Actor`]
+//! surface; the transaction engines in `chiller-cc` are [`Actor`]s
+//! plugged into any backend unchanged. See [`runtime`] for the trait
+//! contracts.
 
 #![warn(missing_docs)]
 
 pub mod affinity;
+pub mod async_rt;
 pub mod runtime;
 pub mod sim;
+pub mod sizing;
 pub mod threaded;
 pub mod timer_wheel;
 
+pub use async_rt::{AsyncConfig, AsyncRuntime};
 pub use runtime::{Actor, Backend, Clock, Ctx, Mailbox, NetStats, Runtime, Verb};
 pub use sim::Simulation;
 pub use threaded::{

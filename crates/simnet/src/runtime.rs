@@ -81,6 +81,11 @@ pub enum Backend {
     /// clock. Reports what the machine actually sustains; not
     /// deterministic.
     Threaded,
+    /// A fixed worker pool multiplexing every node: engines are tasks on
+    /// a work-stealing ready queue, so thousands of partitions run on a
+    /// handful of OS threads (`CHILLER_WORKERS`, default = detected
+    /// parallelism). Wall clock, not deterministic.
+    Async,
 }
 
 impl Backend {
@@ -89,6 +94,7 @@ impl Backend {
         match self {
             Backend::Simulated => "simulated",
             Backend::Threaded => "threaded",
+            Backend::Async => "async",
         }
     }
 }
@@ -257,6 +263,15 @@ pub trait Runtime<M, A: Actor<M>>: Clock {
     /// pin policy and no `sched_setaffinity` failure.
     fn pinned(&self) -> bool {
         false
+    }
+
+    /// Number of OS worker threads that drive a run phase: 0 on the
+    /// simulator (it runs on the calling thread), one per engine on the
+    /// threaded backend, the fixed pool size on the async backend. Lets
+    /// reports distinguish a 1000-engine run on 1000 threads from the
+    /// same run multiplexed onto 4.
+    fn workers(&self) -> usize {
+        0
     }
 
     /// Run `f` against one actor with a live [`Ctx`], outside normal event

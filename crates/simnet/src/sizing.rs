@@ -1,0 +1,75 @@
+//! Worker-pool sizing shared by the threaded and async backends.
+//!
+//! Both real-thread backends need the same two answers — "how parallel
+//! is this host?" and "how many workers should a cluster of `n` engines
+//! get?" — and before this module each call site re-derived them ad hoc
+//! (the threaded backend's spin heuristic read `available_parallelism`
+//! inline; nothing resolved `CHILLER_WORKERS` at all). Centralizing the
+//! policy keeps the two backends' reports comparable and gives
+//! `RunReport::workers` one source of truth.
+
+/// Detected host parallelism: `std::thread::available_parallelism`, or 1
+/// when the host refuses to say (restricted cgroups, exotic platforms —
+/// the conservative answer for sizing decisions).
+pub fn detected_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Worker count of the threaded backend for `engines` engines: always
+/// one OS thread per engine — that backend's whole point is measuring
+/// dedicated-thread behavior, so `CHILLER_WORKERS` does not apply.
+pub fn threaded_workers(engines: usize) -> usize {
+    engines
+}
+
+/// Worker-pool size of the async backend for `engines` engines:
+/// `CHILLER_WORKERS` when set (panics on an unparsable or zero value —
+/// silently mis-sizing the pool would poison every scaling number),
+/// otherwise the detected parallelism; either way clamped to
+/// `1..=engines` (a pool larger than the engine count would only park).
+pub fn async_workers(engines: usize) -> usize {
+    let requested = match std::env::var("CHILLER_WORKERS") {
+        Ok(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => panic!("CHILLER_WORKERS must be a positive integer, got `{v}`"),
+        },
+        Err(_) => detected_parallelism(),
+    };
+    requested.clamp(1, engines.max(1))
+}
+
+/// Whether spin-waiting is safe for a pool of `workers` threads: true
+/// only when the host has at least one core per worker, i.e. a spinning
+/// worker cannot starve a sibling that has real work.
+pub fn spin_allowed(workers: usize) -> bool {
+    detected_parallelism() >= workers.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threaded_is_one_thread_per_engine() {
+        assert_eq!(threaded_workers(7), 7);
+        assert_eq!(threaded_workers(1000), 1000);
+    }
+
+    #[test]
+    fn async_clamps_to_engine_count() {
+        // Whatever the host parallelism, a 1-engine cluster gets 1 worker.
+        if std::env::var("CHILLER_WORKERS").is_err() {
+            assert_eq!(async_workers(1), 1);
+            let w = async_workers(1_000);
+            assert!((1..=1_000).contains(&w));
+            assert_eq!(w, detected_parallelism().min(1_000));
+        }
+    }
+
+    #[test]
+    fn parallelism_is_positive() {
+        assert!(detected_parallelism() >= 1);
+    }
+}

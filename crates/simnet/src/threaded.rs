@@ -618,9 +618,7 @@ impl<M: Send, A: Actor<M> + Send> ThreadedRuntime<M, A> {
                 deadline_ns: AtomicU64::new(0),
                 event_limit: AtomicU64::new(u64::MAX),
                 events: AtomicU64::new(0),
-                spin_allowed: std::thread::available_parallelism()
-                    .map(|p| p.get() >= n.max(1))
-                    .unwrap_or(false),
+                spin_allowed: crate::sizing::spin_allowed(crate::sizing::threaded_workers(n)),
                 parkers: (0..n).map(|_| Parker::default()).collect(),
                 pin_failed: AtomicBool::new(false),
             },
@@ -935,6 +933,10 @@ impl<M: Send, A: Actor<M> + Send> Runtime<M, A> for ThreadedRuntime<M, A> {
 
     fn pinned(&self) -> bool {
         self.pinned_now()
+    }
+
+    fn workers(&self) -> usize {
+        crate::sizing::threaded_workers(self.actors.len())
     }
 
     fn with_actor_ctx(&mut self, node: NodeId, f: &mut dyn FnMut(&mut A, &mut Ctx<'_, M>)) {

@@ -209,6 +209,24 @@ pub fn build_cluster_tuned(
     mailbox: Option<MailboxKind>,
     pin: Option<PinPolicy>,
 ) -> Cluster {
+    build_cluster_scaled(cfg, nodes, protocol, sim, backend, mailbox, pin, None)
+}
+
+/// [`build_cluster_tuned`] with an explicit async worker-pool size
+/// (`None` defers to `CHILLER_WORKERS` / detected parallelism). The
+/// scaling sweep in `bench_async_scale` drives its partitions × workers
+/// matrix through this door; the other backends ignore the knob.
+#[allow(clippy::too_many_arguments)]
+pub fn build_cluster_scaled(
+    cfg: &TransferConfig,
+    nodes: usize,
+    protocol: Protocol,
+    sim: SimConfig,
+    backend: Backend,
+    mailbox: Option<MailboxKind>,
+    pin: Option<PinPolicy>,
+    workers: Option<usize>,
+) -> Cluster {
     let mut builder = ClusterBuilder::new(TransferConfig::schema(), nodes);
     let proc = builder.register_proc(transfer_proc());
     builder
@@ -223,6 +241,9 @@ pub fn build_cluster_tuned(
     }
     if let Some(policy) = pin {
         builder.pin_threads(policy);
+    }
+    if let Some(n) = workers {
+        builder.workers(n);
     }
     let cfg = cfg.clone();
     builder.source_per_node(move |_| Box::new(TransferSource::new(cfg.clone(), proc)));

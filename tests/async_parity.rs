@@ -1,0 +1,204 @@
+//! Async-backend differential parity suite.
+//!
+//! The async backend multiplexes engines onto a fixed worker pool against
+//! a wall clock, so its runs are *not* byte-reproducible — parity with
+//! the deterministic simulator is instead established differentially:
+//! for each seed and protocol, the async run and the simulated oracle
+//! run must both uphold the full serializability contract at quiescence
+//! (balance conservation, no leaked locks, no zombie transactions, zero
+//! replica divergence). Any executor bug that reorders messages beyond
+//! per-link FIFO, loses a wakeup, or quiesces early surfaces here as a
+//! violated invariant on the async side that the oracle side rules out
+//! as a workload/protocol problem.
+
+use chiller::cluster::RunSpec;
+use chiller::prelude::*;
+use chiller_workload::transfer::{
+    assert_serializability_invariants, build_cluster, build_cluster_scaled, TransferConfig,
+};
+
+const NODES: usize = 4;
+
+fn contended_config() -> TransferConfig {
+    TransferConfig {
+        accounts: 400,
+        hot_set: 8,
+        hot_fraction: 0.5,
+    }
+}
+
+fn sim_config(seed: u64, concurrency: usize) -> SimConfig {
+    let mut sim = SimConfig {
+        seed,
+        ..SimConfig::default()
+    };
+    sim.engine.concurrency = concurrency;
+    sim
+}
+
+/// Run one protocol on the async backend with an explicit pool size and
+/// mailbox kind, quiesce, and return the cluster plus its report.
+fn run_async(
+    protocol: Protocol,
+    seed: u64,
+    mailbox: MailboxKind,
+    workers: usize,
+    measure_ms: u64,
+) -> (Cluster, RunReport) {
+    let cfg = contended_config();
+    let mut cluster = build_cluster_scaled(
+        &cfg,
+        NODES,
+        protocol,
+        sim_config(seed, 4),
+        Backend::Async,
+        Some(mailbox),
+        Some(PinPolicy::Off),
+        Some(workers),
+    );
+    assert_eq!(cluster.backend(), Backend::Async);
+    let report = cluster.run(RunSpec::millis(10, measure_ms));
+    cluster.quiesce();
+    (cluster, report)
+}
+
+/// The differential core: same seeds, async execution vs the simulated
+/// oracle, full invariant set on both sides, every protocol. Covers both
+/// mailbox implementations explicitly so a `CHILLER_MAILBOX` default
+/// flip can never silently drop coverage.
+#[test]
+fn async_and_simulated_uphold_the_same_contract_per_seed() {
+    for (seed, mailbox) in [(11, MailboxKind::Ring), (31, MailboxKind::Channel)] {
+        for protocol in [Protocol::Chiller, Protocol::TwoPhaseLocking, Protocol::Occ] {
+            let cfg = contended_config();
+
+            // Async side: real pool, wall clock.
+            let (cluster, report) = run_async(protocol, seed, mailbox, 2, 120);
+            assert!(
+                report.total_commits() > 0,
+                "{protocol} seed {seed} ({mailbox}): async backend committed nothing — {}",
+                report.summary()
+            );
+            assert_serializability_invariants(
+                &cluster,
+                &cfg,
+                &format!("{protocol} seed {seed} (async, {mailbox})"),
+            );
+
+            // Oracle side: the deterministic simulator on the same seed.
+            let mut oracle = build_cluster(&cfg, NODES, protocol, sim_config(seed, 4));
+            let oracle_report = oracle.run(RunSpec::millis(1, 10));
+            assert!(
+                oracle_report.total_commits() > 0,
+                "{protocol} seed {seed}: oracle committed nothing"
+            );
+            oracle.quiesce();
+            assert_serializability_invariants(
+                &oracle,
+                &cfg,
+                &format!("{protocol} seed {seed} (simulated oracle)"),
+            );
+        }
+    }
+}
+
+/// Reports must identify the backend and the pool that produced them:
+/// `backend = Async`, `workers` = the requested pool size (clamped), and
+/// the measured window tracks wall time like the threaded backend's.
+#[test]
+fn async_reports_are_labelled_with_backend_and_workers() {
+    let (_, report) = run_async(Protocol::Chiller, 17, MailboxKind::Ring, 2, 80);
+    assert_eq!(report.backend, Backend::Async);
+    assert_eq!(report.workers, 2, "report must carry the pool size");
+    let elapsed_ms = report.elapsed.as_nanos() as f64 / 1e6;
+    let wall_ms = report.wall_elapsed.as_secs_f64() * 1e3;
+    assert!(
+        (elapsed_ms - wall_ms).abs() < 50.0,
+        "async elapsed ({elapsed_ms:.1}ms) and wall ({wall_ms:.1}ms) diverged"
+    );
+    assert!(report.wall_throughput() > 0.0);
+
+    // The other backends' labels stay distinct: the simulator reports
+    // zero workers (it runs on the calling thread).
+    let cfg = contended_config();
+    let mut oracle = build_cluster(&cfg, NODES, Protocol::Chiller, sim_config(17, 4));
+    let oracle_report = oracle.run(RunSpec::millis(1, 5));
+    assert_eq!(oracle_report.backend, Backend::Simulated);
+    assert_eq!(oracle_report.workers, 0, "the simulator has no workers");
+}
+
+/// The contract must hold at every pool size — 1 worker (pure
+/// multiplexing, no parallelism), an undersized pool, and one worker per
+/// engine (the threaded backend's shape on the async executor).
+#[test]
+fn every_pool_size_upholds_invariants() {
+    let cfg = contended_config();
+    for workers in [1usize, 2, NODES] {
+        let (cluster, report) = run_async(Protocol::Chiller, 23, MailboxKind::Ring, workers, 100);
+        assert!(
+            report.total_commits() > 0,
+            "{workers}-worker pool committed nothing"
+        );
+        assert_eq!(report.workers, workers);
+        assert_serializability_invariants(&cluster, &cfg, &format!("chiller ({workers} workers)"));
+    }
+}
+
+/// Pause/resume across run windows on the async backend: in-flight work
+/// must survive each pause (run → run_more → quiesce) without losing
+/// messages or leaking locks — the phase-boundary moves of engines in
+/// and out of the worker pool are the mechanism under test.
+#[test]
+fn async_backend_survives_repeated_run_windows() {
+    let cfg = contended_config();
+    let mut cluster = build_cluster_scaled(
+        &cfg,
+        NODES,
+        Protocol::Chiller,
+        sim_config(23, 4),
+        Backend::Async,
+        Some(MailboxKind::Ring),
+        Some(PinPolicy::Off),
+        Some(2),
+    );
+    let first = cluster.run(RunSpec::millis(5, 40));
+    let more = cluster.run_more(Duration::from_millis(40));
+    assert!(
+        first.total_commits() + more.total_commits() > 0,
+        "windows must commit work"
+    );
+    cluster.quiesce();
+    assert_serializability_invariants(&cluster, &cfg, "chiller windows (async)");
+}
+
+/// The multiplexing headline at cluster level: many more partitions than
+/// workers, full contract at drain. (The 1000-partition version runs in
+/// `bench_async_scale`; this keeps a fast always-on regression in CI.)
+#[test]
+fn many_partitions_on_a_small_pool_uphold_invariants() {
+    let nodes = 64usize;
+    let cfg = TransferConfig {
+        accounts: 1280,
+        hot_set: 8,
+        hot_fraction: 0.3,
+    };
+    let mut cluster = build_cluster_scaled(
+        &cfg,
+        nodes,
+        Protocol::Chiller,
+        sim_config(29, 4),
+        Backend::Async,
+        Some(MailboxKind::Ring),
+        Some(PinPolicy::Off),
+        Some(2),
+    );
+    let report = cluster.run(RunSpec::millis(10, 120));
+    assert!(
+        report.total_commits() > 0,
+        "64 partitions on 2 workers committed nothing — {}",
+        report.summary()
+    );
+    assert_eq!(report.workers, 2);
+    cluster.quiesce();
+    assert_serializability_invariants(&cluster, &cfg, "chiller (64 partitions, 2 workers)");
+}
