@@ -81,18 +81,22 @@ impl CoordinatorProtocol for ChillerCoordinator {
                 granted,
                 conflict: _,
                 missing,
+                stale,
                 rows,
                 ..
             } => {
-                lock_based::absorb_lock_read_resp(eng, ctx, coord, req, granted, missing, rows);
+                lock_based::absorb_lock_read_resp(
+                    eng, ctx, coord, req, granted, missing, stale, rows,
+                );
                 drive(eng, ctx, txn, coord);
             }
             Msg::InnerResult {
                 committed,
                 outputs,
                 retryable,
+                stale,
                 ..
-            } => on_inner_result(eng, ctx, txn, coord, committed, outputs, retryable),
+            } => on_inner_result(eng, ctx, txn, coord, committed, outputs, retryable, stale),
             Msg::ReplicateAck { .. } => {
                 // Inner-region replication acks the *coordinator* (§5,
                 // Figure 6); outer-region replication acks land here too.
@@ -102,13 +106,13 @@ impl CoordinatorProtocol for ChillerCoordinator {
                         Phase::InnerWait if coord.inner_ok => {
                             resume_outer_commit(eng, ctx, txn, coord);
                         }
-                        Phase::Committing => super::finish_commit(eng, ctx, coord),
+                        Phase::Committing => super::finish_commit(eng, ctx, txn, coord),
                         _ => {}
                     }
                 }
             }
             Msg::CommitOuterAck { .. } => {
-                lock_based::absorb_commit_phase_ack(eng, ctx, coord);
+                lock_based::absorb_commit_phase_ack(eng, ctx, txn, coord);
             }
             other => {
                 debug_assert!(false, "Chiller coordinator received {other:?}");
@@ -143,6 +147,17 @@ fn send_inner(eng: &mut EngineActor, ctx: &mut Ctx<'_, Msg>, txn: TxnId, coord: 
         .filter(|(_, s)| **s == GuardSite::Inner)
         .map(|(i, _)| i)
         .collect();
+    if NodeId(host.0) != eng.node && eng.tracer.full() {
+        eng.tracer.record(
+            ctx.now().as_nanos(),
+            eng.node,
+            chiller_obs::EventKind::SendHop {
+                txn,
+                dst: NodeId(host.0),
+                label: "exec_inner",
+            },
+        );
+    }
     ctx.send(
         NodeId(host.0),
         Verb::Rpc,
@@ -162,6 +177,7 @@ fn send_inner(eng: &mut EngineActor, ctx: &mut Ctx<'_, Msg>, txn: TxnId, coord: 
 }
 
 /// §3.3 step 5: the inner host's unilateral decision arrived.
+#[allow(clippy::too_many_arguments)]
 fn on_inner_result(
     eng: &mut EngineActor,
     ctx: &mut Ctx<'_, Msg>,
@@ -170,6 +186,7 @@ fn on_inner_result(
     committed: bool,
     outputs: Vec<(OpId, Row)>,
     retryable: bool,
+    stale: bool,
 ) {
     ctx.use_cpu(eng.op_cpu());
     coord.pending -= 1;
@@ -187,7 +204,11 @@ fn on_inner_result(
         }
     } else {
         coord.failed = Some(if retryable {
-            FailKind::Transient
+            FailKind::Transient(if stale {
+                chiller_common::metrics::AbortReason::MigrationStaleRoute
+            } else {
+                chiller_common::metrics::AbortReason::NoWaitConflict
+            })
         } else {
             FailKind::Logic
         });

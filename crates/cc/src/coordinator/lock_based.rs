@@ -6,6 +6,7 @@ use super::{finish_commit, in_scope, lock_mode_for, Coord, FailKind, Phase};
 use crate::engine::EngineActor;
 use crate::msg::{LockReadItem, Msg, WriteItem};
 use chiller_common::ids::{NodeId, OpId, PartitionId, RecordId, TxnId};
+use chiller_common::metrics::AbortReason;
 use chiller_common::value::Row;
 use chiller_simnet::{Ctx, Verb};
 use chiller_sproc::op::OpKind;
@@ -37,6 +38,7 @@ pub(super) fn lock_read_message(coord: &Coord, txn: TxnId, req: u64, ops: &[OpId
 /// Absorb one lock+read response: on grant, record held locks and outputs;
 /// on conflict or existence fault, mark the attempt failed. The caller
 /// drives the next stage afterwards.
+#[allow(clippy::too_many_arguments)]
 pub(super) fn absorb_lock_read_resp(
     eng: &mut EngineActor,
     ctx: &mut Ctx<'_, Msg>,
@@ -44,6 +46,7 @@ pub(super) fn absorb_lock_read_resp(
     req: u64,
     granted: bool,
     missing: Option<RecordId>,
+    stale: bool,
     rows: Vec<(OpId, Row)>,
 ) {
     coord.pending -= 1;
@@ -66,8 +69,10 @@ pub(super) fn absorb_lock_read_resp(
         }
     } else if missing.is_some() {
         coord.failed = Some(FailKind::Logic);
+    } else if stale {
+        coord.failed = Some(FailKind::Transient(AbortReason::MigrationStaleRoute));
     } else {
-        coord.failed = Some(FailKind::Transient);
+        coord.failed = Some(FailKind::Transient(AbortReason::NoWaitConflict));
     }
 }
 
@@ -135,7 +140,7 @@ pub(super) fn commit_locked(
         coord.pending += 1;
     }
     if coord.pending == 0 {
-        finish_commit(eng, ctx, coord);
+        finish_commit(eng, ctx, txn, coord);
     }
 }
 
@@ -144,10 +149,11 @@ pub(super) fn commit_locked(
 pub(super) fn absorb_commit_phase_ack(
     eng: &mut EngineActor,
     ctx: &mut Ctx<'_, Msg>,
+    txn: TxnId,
     coord: &mut Coord,
 ) {
     coord.pending = coord.pending.saturating_sub(1);
     if coord.pending == 0 && coord.phase == Phase::Committing {
-        finish_commit(eng, ctx, coord);
+        finish_commit(eng, ctx, txn, coord);
     }
 }

@@ -40,8 +40,10 @@ use crate::input::TxnInput;
 use crate::msg::{Msg, WriteItem, WriteKind};
 use crate::protocol::Protocol;
 use chiller_common::ids::{NodeId, OpId, PartitionId, RecordId, TxnId};
+use chiller_common::metrics::AbortReason;
 use chiller_common::time::SimTime;
 use chiller_common::value::Row;
+use chiller_obs::EventKind;
 use chiller_simnet::{Ctx, Verb};
 use chiller_sproc::decision::GuardSite;
 use chiller_sproc::op::OpKind;
@@ -134,8 +136,10 @@ pub struct OpState {
 /// Why a transaction attempt failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FailKind {
-    /// NO_WAIT lock conflict or OCC validation failure: retry.
-    Transient,
+    /// Retryable failure, classified for the abort-reason taxonomy:
+    /// NO_WAIT lock conflict, OCC validation failure, or a stale-routing
+    /// race against a live migration.
+    Transient(AbortReason),
     /// Guard violation / existence fault: final.
     Logic,
 }
@@ -186,9 +190,13 @@ pub struct Coord {
     /// Retry bookkeeping (attempts includes the current one).
     pub(crate) attempts: u32,
     pub(crate) first_start: SimTime,
+    /// Whether this attempt records lifecycle trace events (decided once
+    /// at admission from the tracer's sampling mode).
+    pub(crate) traced: bool,
 }
 
 impl Coord {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         slot: usize,
         input: TxnInput,
@@ -197,6 +205,7 @@ impl Coord {
         split: RegionSplit,
         prior_attempts: u32,
         first_start: SimTime,
+        traced: bool,
     ) -> Self {
         let n = proc.num_ops();
         let num_guards = proc.guards.len();
@@ -221,6 +230,7 @@ impl Coord {
             validated_ok: Vec::new(),
             attempts: prior_attempts + 1,
             first_start,
+            traced,
         }
     }
 }
@@ -399,6 +409,18 @@ fn issue_wave(
         coord.inflight.insert(req, op_ids.clone());
         let msg = strategy.wave_message(coord, txn, req, &op_ids);
         let verb = msg.verb();
+        if target != eng.node && eng.tracer.full() {
+            let label = msg.kind_label();
+            eng.tracer.record(
+                ctx.now().as_nanos(),
+                eng.node,
+                EventKind::SendHop {
+                    txn,
+                    dst: target,
+                    label,
+                },
+            );
+        }
         ctx.send(target, verb, msg);
         coord.pending += 1;
     }
@@ -406,7 +428,12 @@ fn issue_wave(
 }
 
 /// Account a successful commit and free the slot. Sets `Phase::Done`.
-pub(crate) fn finish_commit(eng: &mut EngineActor, ctx: &mut Ctx<'_, Msg>, coord: &mut Coord) {
+pub(crate) fn finish_commit(
+    eng: &mut EngineActor,
+    ctx: &mut Ctx<'_, Msg>,
+    txn: TxnId,
+    coord: &mut Coord,
+) {
     let name = eng.proc_name(&coord.input).to_owned();
     let distributed = coord.participants.len() > 1;
     let stats = eng.metrics.type_stats(&name);
@@ -444,6 +471,17 @@ pub(crate) fn finish_commit(eng: &mut EngineActor, ctx: &mut Ctx<'_, Msg>, coord
     }
     let latency = ctx.now().saturating_since(coord.first_start);
     eng.metrics.latency.record_duration(latency);
+    if coord.traced {
+        eng.tracer.record(
+            ctx.now().as_nanos(),
+            eng.node,
+            EventKind::TxnCommit {
+                txn,
+                latency_ns: latency.as_nanos(),
+                distributed,
+            },
+        );
+    }
     coord.phase = Phase::Done;
     eng.schedule_fresh_start(ctx, coord.slot);
 }
@@ -471,9 +509,25 @@ pub(crate) fn abort_attempt(
     let name = eng.proc_name(&coord.input).to_owned();
     let slot = coord.slot;
     coord.phase = Phase::Done;
+    if coord.traced {
+        let reason = match kind {
+            FailKind::Transient(r) => Some(r),
+            FailKind::Logic => None,
+        };
+        eng.tracer.record(
+            ctx.now().as_nanos(),
+            eng.node,
+            EventKind::TxnAbort {
+                txn,
+                attempt: coord.attempts,
+                reason,
+            },
+        );
+    }
     match kind {
-        FailKind::Transient => {
+        FailKind::Transient(reason) => {
             eng.metrics.type_stats(&name).aborts += 1;
+            eng.metrics.abort_reasons.record(reason);
             if let Some(mon) = eng.monitor.as_mut() {
                 mon.on_abort();
             }
@@ -487,7 +541,19 @@ pub(crate) fn abort_attempt(
                         params: Vec::new(),
                     },
                 );
-                eng.schedule_retry(ctx, slot, input, coord.attempts, coord.first_start);
+                let backoff =
+                    eng.schedule_retry(ctx, slot, input, coord.attempts, coord.first_start);
+                if coord.traced {
+                    eng.tracer.record(
+                        ctx.now().as_nanos(),
+                        eng.node,
+                        EventKind::TxnRetry {
+                            txn,
+                            attempt: coord.attempts,
+                            backoff_ns: backoff.as_nanos(),
+                        },
+                    );
+                }
             }
         }
         FailKind::Logic => {

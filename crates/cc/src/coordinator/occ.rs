@@ -12,6 +12,7 @@ use crate::engine::EngineActor;
 use crate::msg::{Msg, OccReadItem, ValidateItem};
 use crate::protocol::Protocol;
 use chiller_common::ids::{NodeId, OpId, PartitionId, RecordId, TxnId};
+use chiller_common::metrics::AbortReason;
 use chiller_common::value::Row;
 use chiller_simnet::{Ctx, Verb};
 use chiller_sproc::op::OpKind;
@@ -76,7 +77,7 @@ impl CoordinatorProtocol for OccCoordinator {
                 coord.pending = coord.pending.saturating_sub(1);
                 if coord.pending == 0 {
                     match coord.phase {
-                        Phase::Committing => finish_commit(eng, ctx, coord),
+                        Phase::Committing => finish_commit(eng, ctx, txn, coord),
                         Phase::Aborting => abort_attempt(eng, ctx, txn, coord),
                         _ => {}
                     }
@@ -85,7 +86,7 @@ impl CoordinatorProtocol for OccCoordinator {
             Msg::ReplicateAck { .. } => {
                 coord.pending = coord.pending.saturating_sub(1);
                 if coord.pending == 0 && coord.phase == Phase::Committing {
-                    finish_commit(eng, ctx, coord);
+                    finish_commit(eng, ctx, txn, coord);
                 }
             }
             other => {
@@ -159,15 +160,23 @@ fn send_validate(eng: &mut EngineActor, ctx: &mut Ctx<'_, Msg>, txn: TxnId, coor
         });
     }
     for (part, items) in items_by_part {
-        ctx.send(
-            NodeId(part.0),
-            Verb::OneSided,
-            Msg::OccValidate { txn, items },
-        );
+        let target = NodeId(part.0);
+        if target != eng.node && eng.tracer.full() {
+            eng.tracer.record(
+                ctx.now().as_nanos(),
+                eng.node,
+                chiller_obs::EventKind::SendHop {
+                    txn,
+                    dst: target,
+                    label: "occ_validate",
+                },
+            );
+        }
+        ctx.send(target, Verb::OneSided, Msg::OccValidate { txn, items });
         coord.pending += 1;
     }
     if coord.pending == 0 {
-        finish_commit(eng, ctx, coord);
+        finish_commit(eng, ctx, txn, coord);
     }
 }
 
@@ -186,7 +195,7 @@ fn on_validate_resp(
     if ok {
         coord.validated_ok.push(PartitionId(src.0));
     } else {
-        coord.failed = Some(FailKind::Transient);
+        coord.failed = Some(FailKind::Transient(AbortReason::OccValidation));
     }
     if coord.pending > 0 {
         return;
@@ -270,6 +279,6 @@ fn occ_decide(
         coord.pending += 1;
     }
     if coord.pending == 0 && commit {
-        finish_commit(eng, ctx, coord);
+        finish_commit(eng, ctx, txn, coord);
     }
 }

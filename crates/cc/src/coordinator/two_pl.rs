@@ -53,14 +53,17 @@ impl CoordinatorProtocol for TwoPlCoordinator {
                 granted,
                 conflict: _,
                 missing,
+                stale,
                 rows,
                 ..
             } => {
-                lock_based::absorb_lock_read_resp(eng, ctx, coord, req, granted, missing, rows);
+                lock_based::absorb_lock_read_resp(
+                    eng, ctx, coord, req, granted, missing, stale, rows,
+                );
                 drive(eng, ctx, txn, coord);
             }
             Msg::CommitOuterAck { .. } | Msg::ReplicateAck { .. } => {
-                lock_based::absorb_commit_phase_ack(eng, ctx, coord);
+                lock_based::absorb_commit_phase_ack(eng, ctx, txn, coord);
             }
             other => {
                 debug_assert!(false, "2PL coordinator received {other:?}");

@@ -36,6 +36,7 @@ use chiller_common::metrics::MetricSet;
 use chiller_common::rng::{derive_seed, seeded};
 use chiller_common::time::{Duration, SimTime};
 use chiller_common::value::Row;
+use chiller_obs::{EventKind, Tracer};
 use chiller_simnet::{Actor, Ctx, Verb};
 use chiller_sproc::ExecState;
 use chiller_storage::placement::Placement;
@@ -91,6 +92,9 @@ pub struct EngineParams {
     pub source: Box<dyn InputSource>,
     /// Present when the cluster runs with online adaptation.
     pub monitor: Option<ContentionMonitor>,
+    /// Lifecycle tracer for this engine (disabled unless the cluster
+    /// enables tracing; see `chiller_obs`).
+    pub tracer: Tracer,
     /// Rows the engine loads into its own stores at `on_start` instead of
     /// the builder loading them eagerly. On the threaded backend with
     /// core pinning, `on_start` runs on the already-pinned engine thread,
@@ -149,6 +153,8 @@ pub struct EngineActor {
     pub(crate) metrics: MetricSet,
     /// Contention monitor (present iff the cluster adapts online).
     pub(crate) monitor: Option<ContentionMonitor>,
+    /// Lifecycle tracer (no-op unless the cluster enables tracing).
+    pub(crate) tracer: Tracer,
     /// In-flight migrations this engine coordinates (destination side).
     pub(crate) migrations: HashMap<TxnId, Migration>,
     /// Migration jobs waiting out a NO_WAIT retry backoff.
@@ -185,6 +191,7 @@ impl EngineActor {
             accepting: true,
             metrics: MetricSet::new(),
             monitor: params.monitor,
+            tracer: params.tracer,
             migrations: HashMap::new(),
             mig_retries: HashMap::new(),
             mig_seq: 0,
@@ -304,7 +311,7 @@ impl EngineActor {
     }
 
     /// Schedule a retry of `input` on `slot` after a jittered exponential
-    /// backoff.
+    /// backoff. Returns the backoff chosen (for trace emission).
     pub(crate) fn schedule_retry(
         &mut self,
         ctx: &mut Ctx<'_, Msg>,
@@ -312,10 +319,11 @@ impl EngineActor {
         input: TxnInput,
         attempts: u32,
         first_start: SimTime,
-    ) {
+    ) -> Duration {
         let backoff = self.backoff_for(attempts);
         self.retries.insert(slot, (input, attempts, first_start));
         ctx.set_timer(backoff, TOKEN_RETRY | slot as u64);
+        backoff
     }
 
     fn start_fresh(&mut self, ctx: &mut Ctx<'_, Msg>, slot: usize) {
@@ -339,11 +347,32 @@ impl EngineActor {
         ctx.use_cpu(self.txn_cpu());
         self.txn_seq += 1;
         let txn = TxnId::new(self.node, self.txn_seq);
+        let traced = self.tracer.traces_txn(self.txn_seq);
+        if traced {
+            self.tracer.record(
+                ctx.now().as_nanos(),
+                self.node,
+                EventKind::TxnBegin {
+                    txn,
+                    proc: input.proc as u32,
+                    attempt: prior_attempts + 1,
+                },
+            );
+        }
         let proc = self.registry.get(input.proc).clone();
         let exec = ExecState::new(input.params.clone(), proc.num_ops());
         let strategy = self.strategy;
         let split = strategy.admission_split(self, &proc, &exec);
-        let mut coord = Coord::new(slot, input, proc, exec, split, prior_attempts, first_start);
+        let mut coord = Coord::new(
+            slot,
+            input,
+            proc,
+            exec,
+            split,
+            prior_attempts,
+            first_start,
+            traced,
+        );
         coordinator::drive(self, ctx, txn, &mut coord);
         if coord.phase != Phase::Done {
             self.txns.insert(txn, coord);
@@ -377,6 +406,17 @@ impl Actor<Msg> for EngineActor {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, src: NodeId, _verb: Verb, msg: Msg) {
+        if src != self.node && self.tracer.full() {
+            self.tracer.record(
+                ctx.now().as_nanos(),
+                self.node,
+                EventKind::RecvHop {
+                    txn: msg.txn(),
+                    src,
+                    label: msg.kind_label(),
+                },
+            );
+        }
         match msg {
             // Participant side: storage-owner handlers (protocol-agnostic
             // verb semantics; see `crate::participant`).

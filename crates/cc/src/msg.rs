@@ -76,6 +76,10 @@ pub enum Msg {
         conflict: Option<RecordId>,
         /// Missing-record op (treated as a non-retryable logic failure).
         missing: Option<RecordId>,
+        /// The conflict came from a stale-routing race (the record migrated
+        /// away after the coordinator resolved its placement), not a held
+        /// lock — distinguishes the abort-reason taxonomy entries.
+        stale: bool,
         /// `(op, row)` for granted `want_row` items.
         rows: Vec<(OpId, Row)>,
     },
@@ -119,6 +123,9 @@ pub enum Msg {
         /// On failure: was it a lock conflict (retryable) or a guard
         /// violation (final)?
         retryable: bool,
+        /// A retryable failure caused by a stale split (the record migrated
+        /// off this host after admission), not a held lock.
+        stale: bool,
     },
 
     // ---- Replication (§5) -------------------------------------------------
@@ -221,6 +228,32 @@ impl Msg {
             | Msg::OccValidateResp { txn, .. }
             | Msg::OccDecide { txn, .. }
             | Msg::OccDecideAck { txn } => *txn,
+        }
+    }
+
+    /// Short snake_case label naming the message kind — the hop label in
+    /// trace-event exports.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            Msg::LockRead { .. } => "lock_read",
+            Msg::LockReadResp { .. } => "lock_read_resp",
+            Msg::CommitOuter { .. } => "commit_outer",
+            Msg::CommitOuterAck { .. } => "commit_outer_ack",
+            Msg::AbortOuter { .. } => "abort_outer",
+            Msg::ExecInner { .. } => "exec_inner",
+            Msg::InnerResult { .. } => "inner_result",
+            Msg::Replicate { .. } => "replicate",
+            Msg::ReplicateAck { .. } => "replicate_ack",
+            Msg::MigrateLock { .. } => "migrate_lock",
+            Msg::MigrateLockResp { .. } => "migrate_lock_resp",
+            Msg::MigrateFinish { .. } => "migrate_finish",
+            Msg::MigrateFinishAck { .. } => "migrate_finish_ack",
+            Msg::OccRead { .. } => "occ_read",
+            Msg::OccReadResp { .. } => "occ_read_resp",
+            Msg::OccValidate { .. } => "occ_validate",
+            Msg::OccValidateResp { .. } => "occ_validate_resp",
+            Msg::OccDecide { .. } => "occ_decide",
+            Msg::OccDecideAck { .. } => "occ_decide_ack",
         }
     }
 

@@ -10,12 +10,14 @@ use crate::msg::{LockReadItem, Msg, OccReadItem, ValidateItem, WriteItem, WriteK
 use chiller_common::ids::{NodeId, OpId, PartitionId, RecordId, TxnId};
 use chiller_common::time::SimTime;
 use chiller_common::value::Row;
+use chiller_obs::EventKind;
 use chiller_simnet::Ctx;
 use chiller_storage::lock::LockMode;
 
 impl EngineActor {
     /// Release a primary-store lock, folding the observed contention span
-    /// into the hot/cold histograms.
+    /// into the hot/cold histograms (and, in full trace mode, emitting the
+    /// lock-hold span).
     pub(crate) fn unlock_with_metrics(&mut self, rid: RecordId, txn: TxnId, now: SimTime) {
         if let Some(rel) = self.store.unlock(rid, txn, now) {
             if self.hot.contains(&rid) {
@@ -27,6 +29,33 @@ impl EngineActor {
                     .cold_contention_span
                     .record_duration(rel.held_for);
             }
+            if self.tracer.full() {
+                self.tracer.record(
+                    now.as_nanos(),
+                    self.node,
+                    EventKind::LockRelease {
+                        txn,
+                        record: rid,
+                        held_ns: rel.held_for.as_nanos(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Trace a granted NO_WAIT lock (full mode only; participant side).
+    pub(crate) fn trace_lock_acquire(&mut self, rid: RecordId, txn: TxnId, now: SimTime) {
+        if self.tracer.full() {
+            let hot = self.hot.contains(&rid);
+            self.tracer.record(
+                now.as_nanos(),
+                self.node,
+                EventKind::LockAcquire {
+                    txn,
+                    record: rid,
+                    hot,
+                },
+            );
         }
     }
 
@@ -46,10 +75,12 @@ impl EngineActor {
         let mut rows: Vec<(OpId, Row)> = Vec::new();
         let mut conflict = None;
         let mut missing = None;
+        let mut stale = false;
         for item in &items {
             match self.store.try_lock(item.record, txn, item.mode, now) {
                 Ok(()) => {
                     granted.push(item.record);
+                    self.trace_lock_acquire(item.record, txn, now);
                     if let Some(mon) = self.monitor.as_mut() {
                         mon.on_access(item.record);
                     }
@@ -71,6 +102,7 @@ impl EngineActor {
                 // the read/update miss and the insert that would otherwise
                 // succeed here and duplicate the record at its old home.
                 conflict = Some(item.record);
+                stale = true;
                 break;
             }
             if exists == item.expect_absent {
@@ -105,6 +137,7 @@ impl EngineActor {
                 granted: ok,
                 conflict,
                 missing,
+                stale,
                 rows,
             },
         );
@@ -250,7 +283,10 @@ impl EngineActor {
                     .store
                     .try_lock(it.record, txn, LockMode::Exclusive, now)
                 {
-                    Ok(()) => latched.push(it.record),
+                    Ok(()) => {
+                        latched.push(it.record);
+                        self.trace_lock_acquire(it.record, txn, now);
+                    }
                     Err(_) => {
                         conflict = Some(it.record);
                         break;
@@ -332,6 +368,7 @@ impl EngineActor {
 
         let mut locked: Vec<RecordId> = Vec::new();
         let mut fail: Option<bool> = None; // Some(retryable)
+        let mut stale = false;
         let mut writes: Vec<WriteItem> = Vec::new();
         let mut produced: Vec<OpId> = Vec::new();
 
@@ -362,6 +399,7 @@ impl EngineActor {
                 break;
             }
             locked.push(rid);
+            self.trace_lock_acquire(rid, txn, now);
             if let Some(mon) = self.monitor.as_mut() {
                 mon.on_access(rid);
             }
@@ -374,6 +412,7 @@ impl EngineActor {
                 // is not a fault, and an insert must not land at the old
                 // home and duplicate the record.
                 fail = Some(true);
+                stale = true;
                 break;
             }
             if exists == expect_absent {
@@ -441,6 +480,7 @@ impl EngineActor {
                         committed: false,
                         outputs: Vec::new(),
                         retryable,
+                        stale,
                     },
                 );
             }
@@ -480,6 +520,7 @@ impl EngineActor {
                         committed: true,
                         outputs,
                         retryable: false,
+                        stale: false,
                     },
                 );
             }

@@ -20,5 +20,6 @@ pub mod value;
 pub use config::{EngineConfig, NetworkConfig, ReplicationConfig, SimConfig};
 pub use error::{ChillerError, Result};
 pub use ids::{NodeId, OpId, PartitionId, RecordId, TableId, TxnId};
+pub use metrics::{AbortReason, AbortReasons, Histogram, MetricSet};
 pub use time::SimTime;
 pub use value::{Row, Value};

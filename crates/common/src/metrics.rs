@@ -156,6 +156,99 @@ impl Histogram {
     }
 }
 
+/// Why a transaction attempt aborted — the structured taxonomy the tracing
+/// layer and the per-protocol abort counters share.
+///
+/// Exactly one reason is recorded per *transient* abort (the aborts the
+/// paper's abort-rate figures count); logic aborts (intentional rollbacks)
+/// carry no reason. The sum over all reasons therefore equals
+/// [`MetricSet::total_aborts`] — a property the test suite pins under all
+/// three protocols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AbortReason {
+    /// NO_WAIT lock acquisition hit a conflicting holder (Chiller inner/outer
+    /// regions and 2PL both abort rather than wait).
+    NoWaitConflict,
+    /// OCC backward validation found a conflicting committed writer.
+    OccValidation,
+    /// The request raced a live record migration: the addressed node had
+    /// already migrated the record out, so the attempt must re-route.
+    MigrationStaleRoute,
+    /// The attempt exceeded its deadline. Reserved: no current protocol path
+    /// emits it (the simulated fabric never times out), but socket backends
+    /// will.
+    Timeout,
+}
+
+impl AbortReason {
+    /// Every reason, in counter order.
+    pub const ALL: [AbortReason; 4] = [
+        AbortReason::NoWaitConflict,
+        AbortReason::OccValidation,
+        AbortReason::MigrationStaleRoute,
+        AbortReason::Timeout,
+    ];
+
+    /// Stable snake_case label (Prometheus label / JSON field value).
+    pub fn label(self) -> &'static str {
+        match self {
+            AbortReason::NoWaitConflict => "no_wait_conflict",
+            AbortReason::OccValidation => "occ_validation",
+            AbortReason::MigrationStaleRoute => "migration_stale_route",
+            AbortReason::Timeout => "timeout",
+        }
+    }
+
+    #[inline]
+    fn idx(self) -> usize {
+        match self {
+            AbortReason::NoWaitConflict => 0,
+            AbortReason::OccValidation => 1,
+            AbortReason::MigrationStaleRoute => 2,
+            AbortReason::Timeout => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-reason abort counters (one slot per [`AbortReason`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AbortReasons {
+    counts: [u64; AbortReason::ALL.len()],
+}
+
+impl AbortReasons {
+    #[inline]
+    pub fn record(&mut self, reason: AbortReason) {
+        self.counts[reason.idx()] += 1;
+    }
+
+    pub fn get(&self, reason: AbortReason) -> u64 {
+        self.counts[reason.idx()]
+    }
+
+    /// Total transient aborts across all reasons.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(reason, count)` pairs in counter order (including zero counts).
+    pub fn iter(&self) -> impl Iterator<Item = (AbortReason, u64)> + '_ {
+        AbortReason::ALL.iter().map(|&r| (r, self.counts[r.idx()]))
+    }
+
+    pub fn merge(&mut self, other: &AbortReasons) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
 /// Commit/abort bookkeeping for one transaction type.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TxnTypeStats {
@@ -213,6 +306,9 @@ pub struct MetricSet {
     /// Migrations abandoned (retry budget exhausted, drained shutdown, or
     /// the record vanished from the source before the copy).
     pub migrations_abandoned: u64,
+    /// Transient aborts broken down by [`AbortReason`]; totals match
+    /// [`MetricSet::total_aborts`].
+    pub abort_reasons: AbortReasons,
 }
 
 impl MetricSet {
@@ -225,6 +321,7 @@ impl MetricSet {
             migrations_completed: 0,
             migration_retries: 0,
             migrations_abandoned: 0,
+            abort_reasons: AbortReasons::default(),
         }
     }
 
@@ -269,6 +366,7 @@ impl MetricSet {
         self.migrations_completed += other.migrations_completed;
         self.migration_retries += other.migration_retries;
         self.migrations_abandoned += other.migrations_abandoned;
+        self.abort_reasons.merge(&other.abort_reasons);
     }
 }
 
@@ -356,6 +454,83 @@ mod tests {
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.quantile(0.5), 0);
         assert_eq!(h.max(), 0);
+    }
+
+    /// Property test (satellite: quantile accuracy at 64-sub-bucket
+    /// resolution): for randomized value sets spanning the nanosecond to
+    /// multi-second decades, every queried quantile must land within one
+    /// sub-bucket (1/64 ≈ 1.6%, plus rounding slack) of the exact answer
+    /// computed from a sorted reference vector.
+    #[test]
+    fn histogram_quantiles_match_sorted_reference() {
+        use rand::Rng;
+        for seed in 0..16u64 {
+            let mut rng = crate::rng::seeded(0x4157_0612 ^ seed);
+            // Mix of decades: exercise low raw buckets, the wall-clock band,
+            // and large outliers in the same histogram.
+            let n = rng.gen_range(100usize..4_000);
+            let mut values = Vec::with_capacity(n);
+            let mut h = Histogram::new();
+            for _ in 0..n {
+                let decade = rng.gen_range(0u32..10);
+                let base = 10u64.pow(decade);
+                let v = rng.gen_range(base..base.saturating_mul(10).max(base + 1));
+                values.push(v);
+                h.record(v);
+            }
+            values.sort_unstable();
+            for &q in &[0.0, 0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 0.999, 1.0] {
+                let target = ((q * n as f64).ceil() as usize).clamp(1, n);
+                let exact = values[target - 1] as f64;
+                let approx = h.quantile(q) as f64;
+                // One sub-bucket of relative error plus 1 for integer rounding.
+                let tol = exact / SUB_BUCKETS as f64 + 1.0;
+                assert!(
+                    (approx - exact).abs() <= tol,
+                    "seed={seed} q={q} exact={exact} approx={approx} tol={tol}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn abort_reasons_record_and_total() {
+        let mut r = AbortReasons::default();
+        r.record(AbortReason::NoWaitConflict);
+        r.record(AbortReason::NoWaitConflict);
+        r.record(AbortReason::OccValidation);
+        r.record(AbortReason::MigrationStaleRoute);
+        assert_eq!(r.get(AbortReason::NoWaitConflict), 2);
+        assert_eq!(r.get(AbortReason::OccValidation), 1);
+        assert_eq!(r.get(AbortReason::Timeout), 0);
+        assert_eq!(r.total(), 4);
+
+        let mut other = AbortReasons::default();
+        other.record(AbortReason::Timeout);
+        r.merge(&other);
+        assert_eq!(r.total(), 5);
+        assert_eq!(r.get(AbortReason::Timeout), 1);
+
+        let labels: Vec<&str> = r.iter().map(|(reason, _)| reason.label()).collect();
+        assert_eq!(
+            labels,
+            [
+                "no_wait_conflict",
+                "occ_validation",
+                "migration_stale_route",
+                "timeout"
+            ]
+        );
+    }
+
+    #[test]
+    fn metric_set_merges_abort_reasons() {
+        let mut a = MetricSet::new();
+        a.abort_reasons.record(AbortReason::NoWaitConflict);
+        let mut b = MetricSet::new();
+        b.abort_reasons.record(AbortReason::OccValidation);
+        a.merge(&b);
+        assert_eq!(a.abort_reasons.total(), 2);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use chiller_common::error::{ChillerError, Result};
 use chiller_common::ids::{NodeId, PartitionId, RecordId};
 use chiller_common::time::{Duration, SimTime};
 use chiller_common::value::Row;
+use chiller_obs::{TraceLog, TraceMode, TraceSink, Tracer};
 use chiller_simnet::{
     AsyncConfig, AsyncRuntime, Backend, Ctx, MailboxKind, PinPolicy, Runtime, Simulation,
     ThreadedConfig, ThreadedRuntime, DEFAULT_MAILBOX_CAPACITY,
@@ -82,6 +83,7 @@ pub struct ClusterBuilder {
     mailbox: Option<MailboxKind>,
     pin: Option<PinPolicy>,
     workers: Option<usize>,
+    trace: Option<TraceMode>,
 }
 
 impl ClusterBuilder {
@@ -107,7 +109,19 @@ impl ClusterBuilder {
             mailbox: None,
             pin: None,
             workers: None,
+            trace: None,
         }
+    }
+
+    /// Select the transaction-lifecycle trace mode (DESIGN.md §13):
+    /// [`TraceMode::Off`] (the default), sampled lifecycle events, or the
+    /// full event stream including lock spans and remote hops. Defaults to
+    /// the `CHILLER_TRACE` environment knob (off when unset); the builder
+    /// override wins over the environment. Drained events are available
+    /// via [`Cluster::take_trace`] after a run.
+    pub fn trace(&mut self, mode: TraceMode) -> &mut Self {
+        self.trace = Some(mode);
+        self
     }
 
     /// Select the execution backend: the deterministic simulator (default,
@@ -305,6 +319,12 @@ impl ClusterBuilder {
         let mailbox = self.mailbox.unwrap_or_else(MailboxKind::from_env);
         let pin = self.pin.unwrap_or_else(PinPolicy::from_env);
 
+        // Tracing resolves the same way (`CHILLER_TRACE` / `CHILLER_TRACE_BUF`).
+        // When off, no rings exist and every engine carries a no-op tracer.
+        let trace_mode = self.trace.unwrap_or_else(TraceMode::from_env);
+        let trace_buf = TraceMode::buf_from_env();
+        let mut trace_sinks: Vec<TraceSink> = Vec::new();
+
         // With core pinning on the threaded backend, defer the initial
         // loads to each engine's `on_start`: it runs on the already-pinned
         // worker thread, so the first touch of every row lands on that
@@ -348,6 +368,13 @@ impl ClusterBuilder {
                     a.cfg.max_sketch_records,
                 )
             });
+            let tracer = if trace_mode.enabled() {
+                let (tracer, sink) = Tracer::buffered(trace_mode, trace_buf);
+                trace_sinks.push(sink);
+                tracer
+            } else {
+                Tracer::disabled()
+            };
             actors.push(EngineActor::new(EngineParams {
                 node,
                 num_nodes: self.nodes,
@@ -360,6 +387,7 @@ impl ClusterBuilder {
                 replicas: reps,
                 source: source_factory(node),
                 monitor,
+                tracer,
                 staged: std::mem::take(&mut staged[n]),
             }));
         }
@@ -388,8 +416,24 @@ impl ClusterBuilder {
                 },
             )),
         };
-        Ok(Cluster { rt, adaptive })
+        Ok(Cluster {
+            rt,
+            adaptive,
+            trace: TraceState {
+                mode: trace_mode,
+                sinks: trace_sinks,
+                log: TraceLog::default(),
+            },
+        })
     }
+}
+
+/// Trace plumbing for a built cluster: the consumer half of every engine's
+/// trace ring plus the events accumulated across drains.
+struct TraceState {
+    mode: TraceMode,
+    sinks: Vec<TraceSink>,
+    log: TraceLog,
 }
 
 /// Control-plane state of an adapting cluster.
@@ -417,6 +461,7 @@ pub struct AdaptiveStats {
 pub struct Cluster {
     rt: Box<dyn Runtime<Msg, EngineActor>>,
     adaptive: Option<AdaptiveState>,
+    trace: TraceState,
 }
 
 impl Cluster {
@@ -439,8 +484,14 @@ impl Cluster {
             _ => None,
         };
         let start = self.rt.now();
-        self.advance(start + spec.warmup);
-        self.reset_metrics();
+        // A zero-length warm-up means "no boundary": skip the reset so
+        // trace spans recorded at the very first instant are not split
+        // from their begin events (and a fresh cluster's metrics are
+        // already zero, so there is nothing to discard).
+        if spec.warmup != Duration::ZERO {
+            self.advance(start + spec.warmup);
+            self.reset_metrics();
+        }
         let measure_start = self.rt.now();
         let wall_start = std::time::Instant::now();
         self.advance(measure_start + spec.measure);
@@ -464,10 +515,38 @@ impl Cluster {
     }
 
     /// Clear accumulated engine metrics (used to delimit measurement
-    /// phases, e.g. before and after a workload shift).
+    /// phases, e.g. before and after a workload shift). Trace events
+    /// recorded so far are discarded with them, so a post-warm-up reset
+    /// leaves only measured-window events in [`Self::take_trace`].
     pub fn reset_metrics(&mut self) {
         for engine in self.rt.actors_mut() {
             engine.reset_metrics();
+        }
+        self.pump_trace();
+        self.trace.log = TraceLog::default();
+    }
+
+    /// The active trace mode (resolved from the builder override or the
+    /// `CHILLER_TRACE` environment knob at build time).
+    pub fn trace_mode(&self) -> TraceMode {
+        self.trace.mode
+    }
+
+    /// Drain every engine's trace ring and hand over everything recorded
+    /// since the last take (or the last [`Self::reset_metrics`]). Empty
+    /// when tracing is off.
+    pub fn take_trace(&mut self) -> TraceLog {
+        self.pump_trace();
+        std::mem::take(&mut self.trace.log)
+    }
+
+    /// Move buffered events out of the per-engine rings into the
+    /// accumulated log. The rings are SPSC (engine → control plane), so
+    /// draining is safe whenever this thread holds the cluster; doing it
+    /// at phase boundaries keeps the rings from overflowing on long runs.
+    fn pump_trace(&mut self) {
+        for sink in &mut self.trace.sinks {
+            sink.drain_into(&mut self.trace.log);
         }
     }
 
@@ -476,13 +555,18 @@ impl Cluster {
         self.rt.backend()
     }
 
-    fn collect(&self, elapsed: Duration, wall: std::time::Duration) -> RunReport {
+    fn collect(&mut self, elapsed: Duration, wall: std::time::Duration) -> RunReport {
+        self.pump_trace();
+        let mut telemetry = self.rt.telemetry();
+        telemetry.trace_events_dropped = self.trace.log.dropped;
         RunReport::collect(
             self.rt.backend(),
             elapsed,
             wall,
             self.rt.pinned(),
             self.rt.workers(),
+            self.rt.mailbox_kind(),
+            telemetry,
             self.rt.stats(),
             self.rt.actors().iter().map(EngineActor::report).collect(),
         )
@@ -645,5 +729,6 @@ impl Cluster {
             engine.stop_accepting();
         }
         self.rt.run_to_quiescence(u64::MAX);
+        self.pump_trace();
     }
 }

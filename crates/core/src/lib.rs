@@ -67,6 +67,7 @@ pub mod prelude {
     pub use chiller_common::ids::{NodeId, PartitionId, RecordId, TableId, TxnId};
     pub use chiller_common::time::{Duration, SimTime};
     pub use chiller_common::value::{Row, Value};
+    pub use chiller_obs::{RuntimeTelemetry, TraceLog, TraceMode};
     pub use chiller_simnet::{Backend, MailboxKind, PinPolicy};
     pub use chiller_sproc::{ProcedureBuilder, RegionSplit};
     pub use chiller_storage::placement::{

@@ -3,7 +3,9 @@
 use chiller_cc::engine::EngineReport;
 use chiller_common::metrics::MetricSet;
 use chiller_common::time::Duration;
-use chiller_simnet::{Backend, NetStats};
+use chiller_obs::RuntimeTelemetry;
+use chiller_simnet::{Backend, MailboxKind, NetStats};
+use std::fmt::Write as _;
 
 /// Aggregated outcome of a measured window.
 #[derive(Debug, Clone)]
@@ -30,6 +32,12 @@ pub struct RunReport {
     /// backend. Distinguishes a 1000-engine run on 1000 threads from the
     /// same run multiplexed onto 4.
     pub workers: usize,
+    /// Mailbox implementation the run used (`None` on the simulator,
+    /// which routes messages through the event heap).
+    pub mailbox: Option<MailboxKind>,
+    /// Runtime scheduler telemetry merged across workers/engines (empty
+    /// defaults on the simulator — it has no scheduler).
+    pub telemetry: RuntimeTelemetry,
     /// Merged metrics across engines.
     pub metrics: MetricSet,
     /// Network counters for the whole run (including warm-up).
@@ -39,12 +47,15 @@ pub struct RunReport {
 }
 
 impl RunReport {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn collect(
         backend: Backend,
         elapsed: Duration,
         wall_elapsed: std::time::Duration,
         pinned: bool,
         workers: usize,
+        mailbox: Option<MailboxKind>,
+        telemetry: RuntimeTelemetry,
         net: NetStats,
         per_node: Vec<EngineReport>,
     ) -> RunReport {
@@ -58,6 +69,8 @@ impl RunReport {
             wall_elapsed,
             pinned,
             workers,
+            mailbox,
+            telemetry,
             metrics,
             net,
             per_node,
@@ -138,10 +151,15 @@ impl RunReport {
         self.metrics.latency.p99() as f64 / 1_000.0
     }
 
-    /// One-line human summary.
+    /// One-line human summary, self-describing about what ran: backend,
+    /// mailbox kind, and worker count lead the line so two summaries are
+    /// never compared across silently different configurations.
     pub fn summary(&self) -> String {
         format!(
-            "{:.0} txn/s, abort rate {:.3}, distributed {:.2}, mean latency {:.1}us (p99 {:.1}us), commits {}",
+            "[{} backend, {} mailbox, {} workers] {:.0} txn/s, abort rate {:.3}, distributed {:.2}, mean latency {:.1}us (p99 {:.1}us), commits {}",
+            self.backend.label(),
+            self.mailbox.map(MailboxKind::label).unwrap_or("no"),
+            self.workers,
             self.throughput(),
             self.abort_rate(),
             self.distributed_ratio(),
@@ -149,5 +167,75 @@ impl RunReport {
             self.p99_latency_us(),
             self.total_commits(),
         )
+    }
+
+    /// Prometheus-style plain-text dump of the run's counters: commit and
+    /// abort totals, aborts broken down by structured reason, the runtime
+    /// scheduler telemetry, and timer-wheel slop quantiles. One metric per
+    /// line (`# TYPE` comments included), suitable for diffing across runs
+    /// or scraping out of CI logs.
+    pub fn prometheus(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# TYPE chiller_run_info gauge\n\
+             chiller_run_info{{backend=\"{}\",mailbox=\"{}\",workers=\"{}\",pinned=\"{}\"}} 1",
+            self.backend.label(),
+            self.mailbox.map(MailboxKind::label).unwrap_or("none"),
+            self.workers,
+            self.pinned,
+        );
+        let _ = writeln!(
+            out,
+            "# TYPE chiller_commits_total counter\nchiller_commits_total {}",
+            self.total_commits()
+        );
+        let _ = writeln!(
+            out,
+            "# TYPE chiller_aborts_total counter\nchiller_aborts_total {}",
+            self.total_aborts()
+        );
+        let _ = writeln!(out, "# TYPE chiller_aborts_by_reason_total counter");
+        for (reason, n) in self.metrics.abort_reasons.iter() {
+            let _ = writeln!(
+                out,
+                "chiller_aborts_by_reason_total{{reason=\"{}\"}} {n}",
+                reason.label()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# TYPE chiller_latency_us summary\n\
+             chiller_latency_us{{quantile=\"0.5\"}} {:.3}\n\
+             chiller_latency_us{{quantile=\"0.99\"}} {:.3}\n\
+             chiller_latency_us_count {}",
+            self.metrics.latency.p50() as f64 / 1_000.0,
+            self.p99_latency_us(),
+            self.metrics.latency.count(),
+        );
+        for (name, v) in self.telemetry.counters() {
+            let _ = writeln!(
+                out,
+                "# TYPE chiller_runtime_{name} counter\nchiller_runtime_{name} {v}"
+            );
+        }
+        let slop = &self.telemetry.timer_slop;
+        let _ = writeln!(
+            out,
+            "# TYPE chiller_runtime_timer_slop_ns summary\n\
+             chiller_runtime_timer_slop_ns{{quantile=\"0.5\"}} {}\n\
+             chiller_runtime_timer_slop_ns{{quantile=\"0.99\"}} {}\n\
+             chiller_runtime_timer_slop_ns_count {}",
+            slop.p50(),
+            slop.p99(),
+            slop.count(),
+        );
+        let _ = writeln!(
+            out,
+            "# TYPE chiller_runtime_trace_events_dropped counter\n\
+             chiller_runtime_trace_events_dropped {}",
+            self.telemetry.trace_events_dropped
+        );
+        out
     }
 }

@@ -1,0 +1,41 @@
+//! # chiller-obs
+//!
+//! Transaction-lifecycle tracing + runtime telemetry for the Chiller
+//! reproduction (DESIGN.md §13).
+//!
+//! Two independent facilities share this crate:
+//!
+//! * **Lifecycle tracing** ([`Tracer`] / [`TraceLog`]): per-transaction spans
+//!   (begin, lock acquire/release, remote hops, abort with a structured
+//!   reason, retry, commit) pushed into a per-engine lock-free SPSC ring
+//!   (the `ringq` shim) and drained by the control plane at quiescence.
+//!   Timestamps come from the owning runtime's `Clock`, so the simulated
+//!   backend traces in virtual time and stays byte-deterministic. Gated by
+//!   [`TraceMode`] (`CHILLER_TRACE` / `ClusterBuilder::trace`): when off, the
+//!   tracer is a `None` producer and every record call is a branch on a
+//!   local field — nothing is allocated and no ring exists.
+//! * **Runtime telemetry** ([`RuntimeTelemetry`]): always-on counters for the
+//!   scheduler internals the threaded and async backends were previously
+//!   debugged blind on — batches drained, flush stalls, parked-queue depth
+//!   high-water, park/unpark and lost-wakeup-avoided counts, task-queue
+//!   steal/inject counts, ring occupancy high-water, and a timer-wheel slop
+//!   histogram. Counters are plain per-thread fields merged on read, not
+//!   shared atomics, so the hot paths pay one increment per *batch*.
+//!
+//! Exporters: [`TraceLog::to_jsonl`] (one JSON object per event line) and
+//! [`TraceLog::to_chrome_trace`] (Chrome `trace_event` JSON: one track per
+//! engine, nestable async spans per transaction attempt, lock-hold spans as
+//! complete events). `RunReport::prometheus()` in `chiller` renders the
+//! counter side as a Prometheus-style plain-text dump.
+
+#![warn(missing_docs)]
+
+mod export;
+mod telemetry;
+mod trace;
+
+pub use telemetry::RuntimeTelemetry;
+pub use trace::{
+    EventKind, TraceEvent, TraceLog, TraceMode, TraceSink, Tracer, DEFAULT_SAMPLE_INTERVAL,
+    DEFAULT_TRACE_BUF,
+};

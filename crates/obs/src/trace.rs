@@ -1,0 +1,437 @@
+//! Trace mode, event model, and the lock-free producer/drain pair.
+
+use chiller_common::metrics::AbortReason;
+use chiller_common::{NodeId, RecordId, TxnId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default sampling interval for `CHILLER_TRACE=sample`: one in every N
+/// transactions (by per-engine sequence number) is traced.
+pub const DEFAULT_SAMPLE_INTERVAL: u32 = 64;
+
+/// Default per-engine trace ring capacity (events). Override with
+/// `CHILLER_TRACE_BUF`. Overflow never blocks the engine: excess events are
+/// counted as dropped and reported on the [`TraceLog`].
+pub const DEFAULT_TRACE_BUF: usize = 1 << 16;
+
+/// How much of the transaction lifecycle to record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceMode {
+    /// No tracing: no rings exist, record calls are a single branch.
+    Off,
+    /// Lifecycle events (begin/retry/abort/commit) for one in every `N`
+    /// transactions, selected deterministically by per-engine sequence
+    /// number (`seq % N == 0`). Lock spans and hops are not recorded.
+    Sample(u32),
+    /// Everything for every transaction: lifecycle, per-record lock
+    /// acquire/release spans, and remote send/recv hops.
+    Full,
+}
+
+impl TraceMode {
+    /// Parse `CHILLER_TRACE`: unset/`off`/`0` → `Off`, `sample` →
+    /// `Sample(64)`, `sample=N` → `Sample(N)`, `full`/`1` → `Full`.
+    ///
+    /// # Panics
+    /// On an unrecognized value, so a typo'd knob fails loudly instead of
+    /// silently benchmarking the wrong configuration.
+    pub fn from_env() -> TraceMode {
+        match std::env::var("CHILLER_TRACE") {
+            Err(_) => TraceMode::Off,
+            Ok(v) => match v.as_str() {
+                "" | "off" | "0" => TraceMode::Off,
+                "full" | "1" => TraceMode::Full,
+                "sample" => TraceMode::Sample(DEFAULT_SAMPLE_INTERVAL),
+                other => match other.strip_prefix("sample=") {
+                    Some(n) => TraceMode::Sample(
+                        n.parse::<u32>()
+                            .unwrap_or_else(|_| {
+                                panic!("CHILLER_TRACE=sample=N needs an integer, got {n:?}")
+                            })
+                            .max(1),
+                    ),
+                    None => panic!("CHILLER_TRACE must be off|sample|sample=N|full, got {other:?}"),
+                },
+            },
+        }
+    }
+
+    /// Trace ring capacity from `CHILLER_TRACE_BUF` (events per engine),
+    /// defaulting to [`DEFAULT_TRACE_BUF`].
+    pub fn buf_from_env() -> usize {
+        match std::env::var("CHILLER_TRACE_BUF") {
+            Err(_) => DEFAULT_TRACE_BUF,
+            Ok(v) => v
+                .parse::<usize>()
+                .unwrap_or_else(|_| panic!("CHILLER_TRACE_BUF needs an integer, got {v:?}"))
+                .max(1),
+        }
+    }
+
+    /// Whether any events are recorded at all.
+    pub fn enabled(self) -> bool {
+        !matches!(self, TraceMode::Off)
+    }
+
+    /// Whether the transaction with this per-engine sequence number gets
+    /// lifecycle events. Deterministic: depends only on the sequence number,
+    /// never on wall time, so sampled sim runs replay identically.
+    #[inline]
+    pub fn traces_txn(self, seq: u64) -> bool {
+        match self {
+            TraceMode::Off => false,
+            TraceMode::Sample(n) => seq.is_multiple_of(n as u64),
+            TraceMode::Full => true,
+        }
+    }
+
+    /// Short label for reports and bench JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceMode::Off => "off",
+            TraceMode::Sample(_) => "sample",
+            TraceMode::Full => "full",
+        }
+    }
+}
+
+/// One lifecycle event. `ts` is nanoseconds on the owning runtime's clock
+/// (virtual time on the simulator, monotonic wall time otherwise); `node` is
+/// the engine that observed the event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Clock timestamp in nanoseconds (sim-time or wall-time).
+    pub ts: u64,
+    /// Engine that recorded the event.
+    pub node: NodeId,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The event taxonomy. Lifecycle variants are recorded in `Sample` and
+/// `Full` modes; lock spans and hops only in `Full`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A transaction attempt started on its coordinator.
+    TxnBegin {
+        /// Transaction id.
+        txn: TxnId,
+        /// Registered procedure index (join with the proc registry to name).
+        proc: u32,
+        /// 1-based attempt number (1 = first execution, 2+ = retries).
+        attempt: u32,
+    },
+    /// A transient abort scheduled a retry after backoff.
+    TxnRetry {
+        /// Transaction id.
+        txn: TxnId,
+        /// Attempt number that just failed.
+        attempt: u32,
+        /// Backoff delay before the next attempt, ns.
+        backoff_ns: u64,
+    },
+    /// The attempt committed.
+    TxnCommit {
+        /// Transaction id.
+        txn: TxnId,
+        /// First-begin → commit latency, ns (spans retries).
+        latency_ns: u64,
+        /// Whether execution touched more than one partition.
+        distributed: bool,
+    },
+    /// The attempt aborted.
+    TxnAbort {
+        /// Transaction id.
+        txn: TxnId,
+        /// Attempt number that aborted.
+        attempt: u32,
+        /// Transient abort reason; `None` for final logic aborts
+        /// (intentional rollbacks).
+        reason: Option<AbortReason>,
+    },
+    /// A NO_WAIT lock was granted on this participant.
+    LockAcquire {
+        /// Holding transaction.
+        txn: TxnId,
+        /// Locked record.
+        record: RecordId,
+        /// Whether the record is in the hot (inner-region) set.
+        hot: bool,
+    },
+    /// A lock was released; `held_ns` is the contention span.
+    LockRelease {
+        /// Holding transaction.
+        txn: TxnId,
+        /// Unlocked record.
+        record: RecordId,
+        /// Lock hold time, ns.
+        held_ns: u64,
+    },
+    /// The coordinator sent a protocol message for this transaction.
+    SendHop {
+        /// Transaction the message belongs to.
+        txn: TxnId,
+        /// Destination node.
+        dst: NodeId,
+        /// Message kind label (e.g. `lock_read`).
+        label: &'static str,
+    },
+    /// An engine received a remote protocol message for this transaction.
+    RecvHop {
+        /// Transaction the message belongs to.
+        txn: TxnId,
+        /// Source node.
+        src: NodeId,
+        /// Message kind label.
+        label: &'static str,
+    },
+}
+
+impl EventKind {
+    /// The transaction this event belongs to.
+    pub fn txn(&self) -> TxnId {
+        match *self {
+            EventKind::TxnBegin { txn, .. }
+            | EventKind::TxnRetry { txn, .. }
+            | EventKind::TxnCommit { txn, .. }
+            | EventKind::TxnAbort { txn, .. }
+            | EventKind::LockAcquire { txn, .. }
+            | EventKind::LockRelease { txn, .. }
+            | EventKind::SendHop { txn, .. }
+            | EventKind::RecvHop { txn, .. } => txn,
+        }
+    }
+
+    /// Stable snake_case tag used by both exporters.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::TxnBegin { .. } => "txn_begin",
+            EventKind::TxnRetry { .. } => "txn_retry",
+            EventKind::TxnCommit { .. } => "txn_commit",
+            EventKind::TxnAbort { .. } => "txn_abort",
+            EventKind::LockAcquire { .. } => "lock_acquire",
+            EventKind::LockRelease { .. } => "lock_release",
+            EventKind::SendHop { .. } => "send_hop",
+            EventKind::RecvHop { .. } => "recv_hop",
+        }
+    }
+}
+
+/// Per-engine event producer. Owned by the engine actor, so it moves with
+/// the actor between phases and threads; pushes are wait-free (Lamport SPSC)
+/// and never block — on a full ring the event is counted as dropped.
+pub struct Tracer {
+    mode: TraceMode,
+    tx: Option<ringq::spsc::Producer<TraceEvent>>,
+    dropped: Option<Arc<AtomicU64>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("mode", &self.mode)
+            .field("enabled", &self.tx.is_some())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A tracer that records nothing (the `TraceMode::Off` fast path: no
+    /// ring is allocated, `record` is a branch on a `None`).
+    pub fn disabled() -> Tracer {
+        Tracer {
+            mode: TraceMode::Off,
+            tx: None,
+            dropped: None,
+        }
+    }
+
+    /// A tracer feeding a `capacity`-event ring, plus the sink the control
+    /// plane drains at quiescence.
+    pub fn buffered(mode: TraceMode, capacity: usize) -> (Tracer, TraceSink) {
+        if !mode.enabled() {
+            // Callers normally gate on the mode, but keep the invariant that
+            // Off never owns a ring even if they don't.
+            let (_, rx) = ringq::spsc::bounded::<TraceEvent>(1);
+            let dropped = Arc::new(AtomicU64::new(0));
+            return (Tracer::disabled(), TraceSink { rx, dropped });
+        }
+        let (tx, rx) = ringq::spsc::bounded(capacity.max(1));
+        let dropped = Arc::new(AtomicU64::new(0));
+        (
+            Tracer {
+                mode,
+                tx: Some(tx),
+                dropped: Some(Arc::clone(&dropped)),
+            },
+            TraceSink { rx, dropped },
+        )
+    }
+
+    /// Whether any recording is active.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.tx.is_some()
+    }
+
+    /// Whether lock spans and hops are recorded (Full mode only).
+    #[inline]
+    pub fn full(&self) -> bool {
+        self.tx.is_some() && matches!(self.mode, TraceMode::Full)
+    }
+
+    /// Whether the transaction with this per-engine sequence number gets
+    /// lifecycle events.
+    #[inline]
+    pub fn traces_txn(&self, seq: u64) -> bool {
+        self.tx.is_some() && self.mode.traces_txn(seq)
+    }
+
+    /// Push one event; never blocks. A full ring drops the event and bumps
+    /// the shared drop counter.
+    #[inline]
+    pub fn record(&mut self, ts: u64, node: NodeId, kind: EventKind) {
+        if let Some(tx) = &mut self.tx {
+            if tx.push(TraceEvent { ts, node, kind }).is_err() {
+                if let Some(d) = &self.dropped {
+                    d.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+/// Consumer half of one engine's trace ring. The control plane drains all
+/// sinks into a [`TraceLog`] at phase boundaries (the engines are quiescent
+/// then, so drains race with nothing).
+pub struct TraceSink {
+    rx: ringq::spsc::Consumer<TraceEvent>,
+    dropped: Arc<AtomicU64>,
+}
+
+impl TraceSink {
+    /// Move every buffered event into `log` and fold in the drop count
+    /// accumulated since the last drain.
+    pub fn drain_into(&mut self, log: &mut TraceLog) {
+        while let Some(ev) = self.rx.pop() {
+            log.events.push(ev);
+        }
+        log.dropped += self.dropped.swap(0, Ordering::Relaxed);
+    }
+}
+
+/// All drained events of a run, in per-engine push order (drain order across
+/// engines is by node id; exporters sort by timestamp where formats need it).
+#[derive(Debug, Default)]
+pub struct TraceLog {
+    /// Drained events.
+    pub events: Vec<TraceEvent>,
+    /// Events lost to full rings (size with `CHILLER_TRACE_BUF` if nonzero).
+    pub dropped: u64,
+}
+
+impl TraceLog {
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiller_common::TableId;
+
+    fn txn(node: u32, seq: u64) -> TxnId {
+        TxnId::new(NodeId(node), seq)
+    }
+
+    #[test]
+    fn off_tracer_records_nothing() {
+        let mut t = Tracer::disabled();
+        assert!(!t.enabled());
+        assert!(!t.traces_txn(0));
+        // Must be a no-op, not a panic.
+        t.record(
+            1,
+            NodeId(0),
+            EventKind::TxnBegin {
+                txn: txn(0, 1),
+                proc: 0,
+                attempt: 1,
+            },
+        );
+    }
+
+    #[test]
+    fn buffered_tracer_roundtrips_events() {
+        let (mut t, mut sink) = Tracer::buffered(TraceMode::Full, 8);
+        assert!(t.full());
+        assert!(t.traces_txn(7));
+        t.record(
+            10,
+            NodeId(1),
+            EventKind::TxnBegin {
+                txn: txn(1, 3),
+                proc: 2,
+                attempt: 1,
+            },
+        );
+        t.record(
+            20,
+            NodeId(1),
+            EventKind::TxnCommit {
+                txn: txn(1, 3),
+                latency_ns: 10,
+                distributed: false,
+            },
+        );
+        let mut log = TraceLog::default();
+        sink.drain_into(&mut log);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped, 0);
+        assert_eq!(log.events[0].ts, 10);
+        assert_eq!(log.events[1].kind.tag(), "txn_commit");
+        assert_eq!(log.events[1].kind.txn(), txn(1, 3));
+    }
+
+    #[test]
+    fn full_ring_counts_drops_instead_of_blocking() {
+        let (mut t, mut sink) = Tracer::buffered(TraceMode::Full, 2);
+        for i in 0..5u64 {
+            t.record(
+                i,
+                NodeId(0),
+                EventKind::LockAcquire {
+                    txn: txn(0, 1),
+                    record: RecordId {
+                        table: TableId(0),
+                        key: i,
+                    },
+                    hot: false,
+                },
+            );
+        }
+        let mut log = TraceLog::default();
+        sink.drain_into(&mut log);
+        assert_eq!(log.len() as u64 + log.dropped, 5);
+        assert!(log.dropped >= 1, "capacity-2 ring must have dropped");
+    }
+
+    #[test]
+    fn sample_mode_is_deterministic_in_seq() {
+        let m = TraceMode::Sample(4);
+        let picks: Vec<bool> = (0..9).map(|s| m.traces_txn(s)).collect();
+        assert_eq!(
+            picks,
+            [true, false, false, false, true, false, false, false, true]
+        );
+        assert!(TraceMode::Full.traces_txn(12345));
+        assert!(!TraceMode::Off.traces_txn(0));
+    }
+}

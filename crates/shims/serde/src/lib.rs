@@ -1,12 +1,19 @@
-//! Offline stand-in for `serde`: marker traits plus no-op derives.
+//! Offline stand-in for `serde`: marker traits plus no-op derives, plus a
+//! small self-contained [`json`] module.
 //!
-//! Nothing in the workspace serializes values yet — the derives on config
-//! and metric types exist so downstream tooling can switch to the real
-//! `serde` by flipping the path dependency. The derive macros (from the
-//! sibling `serde_derive` shim) expand to nothing, so these traits are
-//! *not* implemented by deriving types; don't write bounds against them.
+//! Nothing in the workspace serializes values through the traits yet — the
+//! derives on config and metric types exist so downstream tooling can switch
+//! to the real `serde` by flipping the path dependency. The derive macros
+//! (from the sibling `serde_derive` shim) expand to nothing, so these traits
+//! are *not* implemented by deriving types; don't write bounds against them.
+//!
+//! The [`json`] module is real, though: a recursive-descent JSON parser and
+//! renderer used to round-trip-validate the JSON this workspace emits by
+//! hand (bench result files, Chrome trace exports — DESIGN §13).
 
 pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
 
 pub trait Serialize {}
 

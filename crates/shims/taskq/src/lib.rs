@@ -30,8 +30,53 @@
 #![warn(missing_docs)]
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Mutex;
+
+// ---------------------------------------------------------------------------
+// QueueStats
+// ---------------------------------------------------------------------------
+
+/// Scheduling counters a [`TaskQueue`] maintains internally (relaxed
+/// atomics, one increment per queue operation — the queue is touched once
+/// per engine *batch*, so this is off the per-message hot path). Snapshot
+/// with [`TaskQueue::stats`]; the async runtime merges the snapshot into its
+/// `RuntimeTelemetry`.
+#[derive(Default)]
+pub struct QueueStats {
+    pushed: AtomicU64,
+    injected: AtomicU64,
+    popped: AtomicU64,
+    stolen: AtomicU64,
+    steal_batches: AtomicU64,
+}
+
+/// A point-in-time copy of [`QueueStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueSnapshot {
+    /// Tasks pushed onto a worker's own deque.
+    pub pushed: u64,
+    /// Tasks pushed through the shared injector.
+    pub injected: u64,
+    /// Tasks popped for execution (any source).
+    pub popped: u64,
+    /// Tasks that changed workers via stealing.
+    pub stolen: u64,
+    /// Steal operations (each moves a front-half batch).
+    pub steal_batches: u64,
+}
+
+impl QueueStats {
+    fn snapshot(&self) -> QueueSnapshot {
+        QueueSnapshot {
+            pushed: self.pushed.load(Ordering::Relaxed),
+            injected: self.injected.load(Ordering::Relaxed),
+            popped: self.popped.load(Ordering::Relaxed),
+            stolen: self.stolen.load(Ordering::Relaxed),
+            steal_batches: self.steal_batches.load(Ordering::Relaxed),
+        }
+    }
+}
 
 // ---------------------------------------------------------------------------
 // TaskQueue
@@ -47,6 +92,7 @@ use std::sync::Mutex;
 pub struct TaskQueue {
     locals: Vec<Mutex<VecDeque<usize>>>,
     injector: Mutex<VecDeque<usize>>,
+    stats: QueueStats,
 }
 
 impl TaskQueue {
@@ -56,7 +102,13 @@ impl TaskQueue {
         TaskQueue {
             locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             injector: Mutex::new(VecDeque::new()),
+            stats: QueueStats::default(),
         }
+    }
+
+    /// Point-in-time scheduling counters (racy mid-run, exact at quiescence).
+    pub fn stats(&self) -> QueueSnapshot {
+        self.stats.snapshot()
     }
 
     /// Number of worker deques.
@@ -71,11 +123,13 @@ impl TaskQueue {
             .lock()
             .expect("task deque lock")
             .push_back(task);
+        self.stats.pushed.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Push `task` from outside any worker (control plane, initial seed).
     pub fn inject(&self, task: usize) {
         self.injector.lock().expect("injector lock").push_back(task);
+        self.stats.injected.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Next ready task for worker `worker`: own deque front, else
@@ -88,12 +142,18 @@ impl TaskQueue {
             .expect("task deque lock")
             .pop_front()
         {
+            self.stats.popped.fetch_add(1, Ordering::Relaxed);
             return Some(t);
         }
         if let Some(t) = self.injector.lock().expect("injector lock").pop_front() {
+            self.stats.popped.fetch_add(1, Ordering::Relaxed);
             return Some(t);
         }
-        self.steal(worker)
+        let t = self.steal(worker);
+        if t.is_some() {
+            self.stats.popped.fetch_add(1, Ordering::Relaxed);
+        }
+        t
     }
 
     /// Steal for `thief`: scan siblings round-robin from `thief + 1`,
@@ -112,6 +172,10 @@ impl TaskQueue {
             if batch.is_empty() {
                 continue;
             }
+            self.stats.steal_batches.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .stolen
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
             let first = batch.remove(0);
             if !batch.is_empty() {
                 let mut own = self.locals[thief].lock().expect("task deque lock");
@@ -250,6 +314,8 @@ impl SchedState {
 pub struct Parker {
     sleeping: AtomicBool,
     thread: Mutex<Option<std::thread::Thread>>,
+    parks: AtomicU64,
+    wakes: AtomicU64,
 }
 
 impl Parker {
@@ -279,6 +345,7 @@ impl Parker {
     /// on [`Parker::wake`]). Clears the sleeping flag on return. Must be
     /// preceded by [`Parker::prepare_park`] + a work re-check.
     pub fn park_timeout(&self, ns: u64) {
+        self.parks.fetch_add(1, Ordering::Relaxed);
         std::thread::park_timeout(std::time::Duration::from_nanos(ns));
         self.sleeping.store(false, Ordering::Relaxed);
     }
@@ -290,10 +357,21 @@ impl Parker {
         if self.sleeping.load(Ordering::Relaxed) && self.sleeping.swap(false, Ordering::SeqCst) {
             if let Some(t) = self.thread.lock().expect("parker lock").as_ref() {
                 t.unpark();
+                self.wakes.fetch_add(1, Ordering::Relaxed);
                 return true;
             }
         }
         false
+    }
+
+    /// How many times the owning worker actually parked.
+    pub fn parks(&self) -> u64 {
+        self.parks.load(Ordering::Relaxed)
+    }
+
+    /// How many wakes were delivered to a parked/parking worker.
+    pub fn wakes(&self) -> u64 {
+        self.wakes.load(Ordering::Relaxed)
     }
 }
 
@@ -474,5 +552,39 @@ mod tests {
     fn wake_on_awake_worker_is_a_cheap_noop() {
         let p = Parker::new();
         assert!(!p.wake(), "no one is sleeping");
+        assert_eq!(p.wakes(), 0);
+    }
+
+    #[test]
+    fn queue_stats_count_operations() {
+        let q = TaskQueue::new(2);
+        q.push_local(1, 10);
+        q.push_local(1, 11);
+        q.push_local(1, 12);
+        q.push_local(1, 13);
+        q.inject(20);
+        // Worker 0: own deque empty, injector first.
+        assert_eq!(q.pop(0), Some(20));
+        // Then a steal of the front half (2 of 4 tasks).
+        assert_eq!(q.pop(0), Some(10));
+        let s = q.stats();
+        assert_eq!(s.pushed, 4);
+        assert_eq!(s.injected, 1);
+        assert_eq!(s.popped, 2);
+        assert_eq!(s.stolen, 2);
+        assert_eq!(s.steal_batches, 1);
+    }
+
+    #[test]
+    fn parker_counts_parks_and_wakes() {
+        let p = Parker::new();
+        p.register();
+        p.prepare_park();
+        p.park_timeout(1_000); // expires, no wake
+        assert_eq!(p.parks(), 1);
+        assert_eq!(p.wakes(), 0);
+        p.prepare_park();
+        assert!(p.wake(), "sleeping flag published, wake is delivered");
+        assert_eq!(p.wakes(), 1);
     }
 }

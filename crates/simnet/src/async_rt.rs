@@ -74,7 +74,9 @@ use crate::sizing;
 use crate::threaded::{MailboxKind, PinPolicy, DEFAULT_MAILBOX_CAPACITY};
 use crate::timer_wheel::TimerWheel;
 use chiller_common::ids::NodeId;
+use chiller_common::metrics::Histogram;
 use chiller_common::time::{Duration, SimTime};
+use chiller_obs::RuntimeTelemetry;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
@@ -145,6 +147,17 @@ enum Recv<M> {
 }
 
 impl<M> Inbox<M> {
+    /// Occupancy snapshot (rings only — `sync_channel` has no cheap
+    /// length, so the channel fallback reports 0 and the occupancy HWM
+    /// telemetry is a ring-mailbox feature, same as the threaded backend).
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            Inbox::Channel(_) => 0,
+            Inbox::Ring(rx) => rx.len(),
+        }
+    }
+
     #[inline]
     fn try_recv(&mut self) -> Recv<M> {
         match self {
@@ -217,6 +230,9 @@ struct EngineState<M> {
     /// Whether `on_start` has run.
     started: bool,
     stats: NetStats,
+    /// Scheduler counters owned by this engine (merged on read while
+    /// paused; the pool-wide counters live in [`Shared`] instead).
+    tel: RuntimeTelemetry,
 }
 
 impl<M> EngineState<M> {
@@ -259,6 +275,10 @@ struct WorkerTimers {
     free: Vec<usize>,
     /// Scratch for expired batches (reused).
     fired: Vec<(u64, u64)>,
+    /// Firing slop (expiry wall time − due time) for this worker's wheel.
+    /// Expected to be coarser than the threaded backend's: bounded by
+    /// park granularity plus queueing delay, not spin precision.
+    slop: Histogram,
 }
 
 impl WorkerTimers {
@@ -268,6 +288,7 @@ impl WorkerTimers {
             slab: Vec::new(),
             free: Vec::new(),
             fired: Vec::new(),
+            slop: Histogram::new(),
         }
     }
 
@@ -314,6 +335,14 @@ struct Shared<M> {
     parkers: Vec<taskq::Parker>,
     /// Set when any worker's `sched_setaffinity` call fails.
     pin_failed: AtomicBool,
+    /// Notifies that won the enqueue duty (engine went IDLE → QUEUED).
+    notifies: AtomicU64,
+    /// Turns that neither handled an event nor delivered a parked
+    /// envelope (pure flush-stall retries — the yield path).
+    zero_progress_turns: AtomicU64,
+    /// Park handshakes cancelled by the publish-then-recheck leg finding
+    /// ready work — each one is a wakeup the handshake refused to lose.
+    lost_wakeups_avoided: AtomicU64,
 }
 
 impl<M> Shared<M> {
@@ -332,6 +361,7 @@ impl<M> Shared<M> {
     /// the injector (control plane), and wake one sleeping worker.
     fn notify(&self, e: usize, from_worker: Option<usize>) {
         if self.scheds[e].notify() {
+            self.notifies.fetch_add(1, Ordering::Relaxed);
             match from_worker {
                 Some(w) => self.queue.push_local(w, e),
                 None => self.queue.inject(e),
@@ -418,6 +448,7 @@ impl<M: Send, A: Actor<M> + Send> AsyncRuntime<M, A> {
                 outstanding_delta: 0,
                 started: false,
                 stats: NetStats::default(),
+                tel: RuntimeTelemetry::default(),
             })
             .collect();
         let pin_cpus = match cfg.pin {
@@ -445,6 +476,9 @@ impl<M: Send, A: Actor<M> + Send> AsyncRuntime<M, A> {
                 queue: taskq::TaskQueue::new(nworkers),
                 parkers: (0..nworkers).map(|_| taskq::Parker::new()).collect(),
                 pin_failed: AtomicBool::new(false),
+                notifies: AtomicU64::new(0),
+                zero_progress_turns: AtomicU64::new(0),
+                lost_wakeups_avoided: AtomicU64::new(0),
             },
             nworkers,
             started: false,
@@ -541,6 +575,7 @@ impl<M: Send, A: Actor<M> + Send> AsyncRuntime<M, A> {
 /// see `EngineState::pending`). Successful deliveries notify the
 /// destination engine. Returns how many envelopes were delivered.
 fn flush_pending<M>(st: &mut EngineState<M>, shared: &Shared<M>, w: usize) -> u64 {
+    st.tel.parked_depth_hwm = st.tel.parked_depth_hwm.max(st.pending.len() as u64);
     let mut delivered = 0;
     while let Some((dst, env)) = st.pending.pop_front() {
         match shared.outboxes[dst.idx()].try_send(env) {
@@ -550,6 +585,7 @@ fn flush_pending<M>(st: &mut EngineState<M>, shared: &Shared<M>, w: usize) -> u6
             }
             SendOutcome::Full(env) => {
                 st.pending.push_front((dst, env));
+                st.tel.flush_stalls += 1;
                 break;
             }
         }
@@ -562,9 +598,11 @@ fn flush_pending<M>(st: &mut EngineState<M>, shared: &Shared<M>, w: usize) -> u6
 fn expire_timers<M>(timers: &mut WorkerTimers, shared: &Shared<M>, w: usize) -> usize {
     let mut batch = std::mem::take(&mut timers.fired);
     batch.clear();
-    timers.wheel.pop_expired(shared.now_ns(), &mut batch);
+    let now = shared.now_ns();
+    timers.wheel.pop_expired(now, &mut batch);
     let count = batch.len();
-    for &(_due, slab_idx) in &batch {
+    for &(due, slab_idx) in &batch {
+        timers.slop.record(now.saturating_sub(due));
         let (engine, token) = timers.slab[slab_idx as usize];
         timers.free.push(slab_idx as usize);
         shared.fires[engine]
@@ -636,6 +674,7 @@ fn run_engine<M, A: Actor<M>>(
     //    shared inbox. `drained_dry` records whether we stopped because
     //    the sources were empty (vs the batch budget) — the has_more
     //    computation must not depend on peeking a channel.
+    st.tel.ring_occupancy_hwm = st.tel.ring_occupancy_hwm.max(st.inbox.len() as u64);
     let mut drained_dry = false;
     while handled < EVENT_BATCH as u64 {
         if let Some(env) = st.local.pop_front() {
@@ -667,6 +706,7 @@ fn run_engine<M, A: Actor<M>>(
     if handled > 0 {
         shared.events.fetch_add(handled, Ordering::Relaxed);
         st.outstanding_delta -= handled as i64;
+        st.tel.batches_drained += 1;
     }
     st.publish_outstanding(shared);
     let delivered = flush_pending(st, shared, w);
@@ -720,6 +760,7 @@ fn worker_loop<M, A: Actor<M>>(
             if !run_engine(e, w, timers, shared, slots) {
                 // Pure flush-stall retry: give the destination's worker
                 // the CPU before spinning another fruitless turn.
+                shared.zero_progress_turns.fetch_add(1, Ordering::Relaxed);
                 std::thread::yield_now();
             }
             continue;
@@ -744,7 +785,12 @@ fn worker_loop<M, A: Actor<M>>(
         parker.prepare_park();
         // Re-check after publishing the flag (the handshake's re-check
         // leg): a push that happened before the publish is ours to see.
-        if shared.queue.has_ready() || shared.outstanding.load(Ordering::SeqCst) == 0 {
+        if shared.queue.has_ready() {
+            parker.cancel_park();
+            shared.lost_wakeups_avoided.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        if shared.outstanding.load(Ordering::SeqCst) == 0 {
             parker.cancel_park();
             continue;
         }
@@ -797,6 +843,34 @@ impl<M: Send, A: Actor<M> + Send> Runtime<M, A> for AsyncRuntime<M, A> {
 
     fn workers(&self) -> usize {
         self.nworkers
+    }
+
+    fn telemetry(&self) -> RuntimeTelemetry {
+        let mut tel = RuntimeTelemetry::default();
+        for st in &self.states {
+            tel.merge(&st.tel);
+        }
+        for wt in &self.worker_timers {
+            tel.timer_slop.merge(&wt.slop);
+        }
+        for p in &self.shared.parkers {
+            tel.parks += p.parks();
+            tel.unparks += p.wakes();
+        }
+        let q = self.shared.queue.stats();
+        tel.tasks_pushed = q.pushed;
+        tel.tasks_injected = q.injected;
+        tel.tasks_popped = q.popped;
+        tel.tasks_stolen = q.stolen;
+        tel.steal_batches = q.steal_batches;
+        tel.notifies = self.shared.notifies.load(Ordering::Relaxed);
+        tel.zero_progress_turns = self.shared.zero_progress_turns.load(Ordering::Relaxed);
+        tel.lost_wakeups_avoided = self.shared.lost_wakeups_avoided.load(Ordering::Relaxed);
+        tel
+    }
+
+    fn mailbox_kind(&self) -> Option<MailboxKind> {
+        Some(self.mailbox)
     }
 
     fn with_actor_ctx(&mut self, node: NodeId, f: &mut dyn FnMut(&mut A, &mut Ctx<'_, M>)) {
@@ -1194,6 +1268,52 @@ mod tests {
         };
         assert!(fired >= 1_000, "guard must not fire before the limit");
         assert!(fired < 100_000, "guard must stop the zero-delay ticker");
+    }
+
+    /// The pool-wide telemetry reflects an actual run: a relay ring with
+    /// a tiny mailbox forces flush stalls, batching, queue traffic and
+    /// timers, and each counter family must show it.
+    #[test]
+    fn telemetry_counters_reflect_the_run() {
+        let mut rt = AsyncRuntime::with_config(
+            vec![
+                TestActor::Pinger {
+                    count: 400,
+                    replies: 0,
+                },
+                TestActor::Echo {
+                    received: Vec::new(),
+                },
+            ],
+            config(MailboxKind::Ring, 2, 2),
+        );
+        rt.run_to_quiescence(u64::MAX);
+        let tel = Runtime::telemetry(&rt);
+        assert!(tel.batches_drained > 0, "batches: {tel:?}");
+        assert!(tel.flush_stalls > 0, "capacity-2 ring must stall flushes");
+        assert!(tel.parked_depth_hwm > 0, "sends must have parked");
+        assert!(
+            tel.tasks_popped >= tel.batches_drained,
+            "every drained batch rode a popped task"
+        );
+        assert!(tel.notifies > 0, "deliveries must have enqueued engines");
+        assert_eq!(
+            Runtime::mailbox_kind(&rt),
+            Some(MailboxKind::Ring),
+            "trait reports the mailbox it was built with"
+        );
+
+        let mut ticker = AsyncRuntime::with_config(
+            vec![TestActor::Ticker {
+                fired: 0,
+                limit: 10,
+                delay_ns: 30_000,
+            }],
+            config(MailboxKind::Ring, 64, 1),
+        );
+        ticker.run_to_quiescence(u64::MAX);
+        let tel = Runtime::telemetry(&ticker);
+        assert_eq!(tel.timer_slop.count(), 10, "one slop sample per fire");
     }
 
     #[test]

@@ -274,6 +274,22 @@ pub trait Runtime<M, A: Actor<M>>: Clock {
         0
     }
 
+    /// Scheduler-internal counters accumulated so far (batches drained,
+    /// flush stalls, park/unpark handshakes, steals, timer slop — see
+    /// [`chiller_obs::RuntimeTelemetry`]). Empty on the simulator, which
+    /// has no scheduler: events pop off one ordered heap and timers are
+    /// exact by construction.
+    fn telemetry(&self) -> chiller_obs::RuntimeTelemetry {
+        chiller_obs::RuntimeTelemetry::default()
+    }
+
+    /// Mailbox implementation in use, for self-describing reports. `None`
+    /// on the simulator (messages travel through the event heap, not
+    /// mailboxes).
+    fn mailbox_kind(&self) -> Option<crate::threaded::MailboxKind> {
+        None
+    }
+
     /// Run `f` against one actor with a live [`Ctx`], outside normal event
     /// dispatch. This is the control-plane injection point: an epoch
     /// scheduler pauses the runtime at a boundary, inspects/mutates

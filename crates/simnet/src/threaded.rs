@@ -90,6 +90,7 @@ use crate::runtime::{Actor, Backend, Clock, Ctx, Mailbox, NetStats, Runtime, Ver
 use crate::timer_wheel::TimerWheel;
 use chiller_common::ids::NodeId;
 use chiller_common::time::{Duration, SimTime};
+use chiller_obs::RuntimeTelemetry;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
@@ -259,14 +260,17 @@ struct Parker {
 impl Parker {
     /// Producer side: wake the worker if (and only if) it is parked or
     /// about to park. The fast path — destination awake — is one relaxed
-    /// load.
+    /// load. Returns whether a wake was actually delivered (feeds the
+    /// `unparks` telemetry counter).
     #[inline]
-    fn wake(&self) {
+    fn wake(&self) -> bool {
         if self.sleeping.load(Ordering::Relaxed) && self.sleeping.swap(false, Ordering::SeqCst) {
             if let Some(t) = self.thread.lock().expect("parker lock").as_ref() {
                 t.unpark();
+                return true;
             }
         }
+        false
     }
 }
 
@@ -355,6 +359,17 @@ impl<M> Inbox<M> {
             Inbox::RingSpsc(rx) => rx.has_ready(),
         }
     }
+
+    /// Approximate occupancy (rings only — the channel exposes no length).
+    /// Feeds the `ring_occupancy_hwm` telemetry gauge.
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            Inbox::Channel(_) => 0,
+            Inbox::RingMpsc(rx) => rx.len(),
+            Inbox::RingSpsc(rx) => rx.len(),
+        }
+    }
 }
 
 /// Sending end of one destination's mailbox, held by every other node.
@@ -425,6 +440,9 @@ struct NodeState<M> {
     /// not yet published to `Shared::outstanding`.
     outstanding_delta: i64,
     stats: NetStats,
+    /// Scheduler counters (plain fields, merged on read — one increment
+    /// per batch, not per message).
+    tel: RuntimeTelemetry,
 }
 
 impl<M> NodeState<M> {
@@ -449,14 +467,20 @@ impl<M> NodeState<M> {
     /// mailbox, which is what frees the peer's capacity), so cyclic
     /// full-mailbox configurations still make progress.
     fn flush_pending(&mut self, shared: &Shared) {
+        self.tel.parked_depth_hwm = self.tel.parked_depth_hwm.max(self.pending.len() as u64);
         while let Some((dst, env)) = self.pending.pop_front() {
             let tx = self.txs[dst.idx()]
                 .as_mut()
                 .expect("remote send routed to the sender's own mailbox");
             match tx.try_send(env) {
-                SendOutcome::Ok => shared.parkers[dst.idx()].wake(),
+                SendOutcome::Ok => {
+                    if shared.parkers[dst.idx()].wake() {
+                        self.tel.unparks += 1;
+                    }
+                }
                 SendOutcome::Full(env) => {
                     self.pending.push_front((dst, env));
+                    self.tel.flush_stalls += 1;
                     break;
                 }
                 // Receivers live as long as the runtime; a disconnect can
@@ -475,6 +499,7 @@ impl<M> NodeState<M> {
     fn await_message(&mut self, shared: &Shared, sleep_ns: u64) -> Recv<M> {
         match &mut self.inbox {
             Inbox::Channel(rx) => {
+                self.tel.parks += 1;
                 match rx.recv_timeout(std::time::Duration::from_nanos(sleep_ns)) {
                     Ok(env) => Recv::Msg(env),
                     Err(RecvTimeoutError::Timeout) => Recv::Empty,
@@ -488,10 +513,18 @@ impl<M> NodeState<M> {
                 // pushed before the store cannot have seen it, so it falls
                 // to us to notice the message; one that pushes after will
                 // see the flag and unpark us.
-                if self.inbox.has_ready() || shared.outstanding.load(Ordering::SeqCst) == 0 {
+                if self.inbox.has_ready() {
+                    parker.sleeping.store(false, Ordering::Relaxed);
+                    // A producer pushed in the publish-recheck window: the
+                    // handshake just prevented a lost wakeup.
+                    self.tel.lost_wakeups_avoided += 1;
+                    return Recv::Empty;
+                }
+                if shared.outstanding.load(Ordering::SeqCst) == 0 {
                     parker.sleeping.store(false, Ordering::Relaxed);
                     return Recv::Empty;
                 }
+                self.tel.parks += 1;
                 std::thread::park_timeout(std::time::Duration::from_nanos(sleep_ns));
                 parker.sleeping.store(false, Ordering::Relaxed);
                 // Let the worker loop re-drain; an extra iteration is
@@ -603,6 +636,7 @@ impl<M: Send, A: Actor<M> + Send> ThreadedRuntime<M, A> {
                 local: VecDeque::new(),
                 outstanding_delta: 0,
                 stats: NetStats::default(),
+                tel: RuntimeTelemetry::default(),
             })
             .collect();
         let pin_cpus = match cfg.pin {
@@ -723,8 +757,9 @@ fn fire_due_timers<M, A: Actor<M>>(actor: &mut A, st: &mut NodeState<M>, shared:
             break;
         }
         let mut stop = false;
-        for (i, &(_due, token)) in batch.iter().enumerate() {
-            if shared.now_ns() >= shared.deadline_ns.load(Ordering::SeqCst) || shared.limit_hit() {
+        for (i, &(due, token)) in batch.iter().enumerate() {
+            let now = shared.now_ns();
+            if now >= shared.deadline_ns.load(Ordering::SeqCst) || shared.limit_hit() {
                 // Phase over mid-batch: re-arm the un-fired remainder in
                 // popped order (preserves FIFO among equal due times).
                 for &(due, token) in &batch[i..] {
@@ -733,6 +768,7 @@ fn fire_due_timers<M, A: Actor<M>>(actor: &mut A, st: &mut NodeState<M>, shared:
                 stop = true;
                 break;
             }
+            st.tel.timer_slop.record(now.saturating_sub(due));
             st.stats.timer_fires += 1;
             st.stats.events_processed += 1;
             shared.events.fetch_add(1, Ordering::Relaxed);
@@ -804,6 +840,7 @@ fn worker<M, A: Actor<M>>(
         // publish the whole batch's bookkeeping at once. Self-sends
         // (including ones produced by handlers mid-batch) drain first —
         // they cost no mailbox synchronization at all.
+        st.tel.ring_occupancy_hwm = st.tel.ring_occupancy_hwm.max(st.inbox.len() as u64);
         let mut handled = 0u64;
         let mut disconnected = false;
         while handled < MESSAGE_BATCH as u64 {
@@ -829,6 +866,7 @@ fn worker<M, A: Actor<M>>(
             return;
         }
         if handled > 0 {
+            st.tel.batches_drained += 1;
             continue;
         }
 
@@ -937,6 +975,18 @@ impl<M: Send, A: Actor<M> + Send> Runtime<M, A> for ThreadedRuntime<M, A> {
 
     fn workers(&self) -> usize {
         crate::sizing::threaded_workers(self.actors.len())
+    }
+
+    fn telemetry(&self) -> RuntimeTelemetry {
+        let mut merged = RuntimeTelemetry::default();
+        for st in &self.states {
+            merged.merge(&st.tel);
+        }
+        merged
+    }
+
+    fn mailbox_kind(&self) -> Option<MailboxKind> {
+        Some(self.mailbox)
     }
 
     fn with_actor_ctx(&mut self, node: NodeId, f: &mut dyn FnMut(&mut A, &mut Ctx<'_, M>)) {
@@ -1347,6 +1397,45 @@ mod tests {
             panic!()
         };
         assert_eq!(fired, 10, "single-node channel worker exited early");
+    }
+
+    /// Telemetry plausibility: a run that handles messages must report
+    /// drained batches; tiny mailboxes must report flush stalls and a
+    /// parked-queue high-water mark; timers must populate the slop
+    /// histogram.
+    #[test]
+    fn telemetry_counters_reflect_the_run() {
+        let mut rt = ThreadedRuntime::with_config(
+            vec![
+                TestActor::Pinger {
+                    count: 400,
+                    replies: 0,
+                },
+                TestActor::Echo {
+                    received: Vec::new(),
+                },
+            ],
+            config(MailboxKind::Ring, 2), // tiny: force stalls and parking
+        );
+        rt.run_to_quiescence(u64::MAX);
+        let tel = rt.telemetry();
+        assert!(tel.batches_drained > 0, "messages were handled in batches");
+        assert!(tel.flush_stalls > 0, "capacity-2 mailboxes must stall");
+        assert!(tel.parked_depth_hwm > 0, "sends must have parked");
+        assert_eq!(tel.timer_slop.count(), 0, "no timers in this run");
+        assert_eq!(
+            Runtime::mailbox_kind(&rt),
+            Some(MailboxKind::Ring),
+            "trait accessor reports the mailbox kind"
+        );
+
+        let mut ticker = ThreadedRuntime::new(vec![TestActor::Ticker {
+            fired: 0,
+            limit: 10,
+            delay_ns: 30_000,
+        }]);
+        ticker.run_to_quiescence(u64::MAX);
+        assert_eq!(ticker.telemetry().timer_slop.count(), 10);
     }
 
     #[test]

@@ -254,6 +254,20 @@ pub fn build_tpcc_cluster_on(
     sim: SimConfig,
     backend: Backend,
 ) -> Cluster {
+    build_tpcc_cluster_traced(cfg, mix, protocol, sim, backend, None)
+}
+
+/// [`build_tpcc_cluster_on`] with an explicit lifecycle-trace mode
+/// (`None` defers to the `CHILLER_TRACE` environment knob) — the door
+/// the TPC-C trace smoke drives all three backends through.
+pub fn build_tpcc_cluster_traced(
+    cfg: &TpccConfig,
+    mix: TpccMix,
+    protocol: Protocol,
+    sim: SimConfig,
+    backend: Backend,
+    trace: Option<TraceMode>,
+) -> Cluster {
     assert_eq!(
         cfg.warehouses as usize as u64, cfg.warehouses,
         "warehouse count fits usize"
@@ -268,6 +282,9 @@ pub fn build_tpcc_cluster_on(
         .placement(Arc::new(TpccPlacement::new(nodes as u32)))
         .hot_records(super::hot_records(cfg))
         .load(load_tpcc(cfg));
+    if let Some(mode) = trace {
+        builder.trace(mode);
+    }
     let cfg = cfg.clone();
     builder.source_per_node(move |node| {
         Box::new(TpccSource::new(

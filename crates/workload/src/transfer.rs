@@ -227,6 +227,26 @@ pub fn build_cluster_scaled(
     pin: Option<PinPolicy>,
     workers: Option<usize>,
 ) -> Cluster {
+    build_cluster_traced(
+        cfg, nodes, protocol, sim, backend, mailbox, pin, workers, None,
+    )
+}
+
+/// [`build_cluster_scaled`] with an explicit lifecycle-trace mode (`None`
+/// defers to the `CHILLER_TRACE` environment knob). The trace smoke suite
+/// and `bench_trace_overhead` drive all modes through this door.
+#[allow(clippy::too_many_arguments)]
+pub fn build_cluster_traced(
+    cfg: &TransferConfig,
+    nodes: usize,
+    protocol: Protocol,
+    sim: SimConfig,
+    backend: Backend,
+    mailbox: Option<MailboxKind>,
+    pin: Option<PinPolicy>,
+    workers: Option<usize>,
+    trace: Option<TraceMode>,
+) -> Cluster {
     let mut builder = ClusterBuilder::new(TransferConfig::schema(), nodes);
     let proc = builder.register_proc(transfer_proc());
     builder
@@ -244,6 +264,9 @@ pub fn build_cluster_scaled(
     }
     if let Some(n) = workers {
         builder.workers(n);
+    }
+    if let Some(mode) = trace {
+        builder.trace(mode);
     }
     let cfg = cfg.clone();
     builder.source_per_node(move |_| Box::new(TransferSource::new(cfg.clone(), proc)));
