@@ -482,6 +482,16 @@ pub(crate) fn finish_commit(
             },
         );
     }
+    // Serializability checking: the commit marker is what promotes this
+    // attempt's recorded reads/writes into the checked history (attempts
+    // that never reach here drop out at assembly).
+    if eng.recorder.enabled() {
+        eng.recorder.record(
+            ctx.now().as_nanos(),
+            eng.node,
+            chiller_obs::HistoryEventKind::Commit { txn },
+        );
+    }
     coord.phase = Phase::Done;
     eng.schedule_fresh_start(ctx, coord.slot);
 }

@@ -36,7 +36,7 @@ use chiller_common::metrics::MetricSet;
 use chiller_common::rng::{derive_seed, seeded};
 use chiller_common::time::{Duration, SimTime};
 use chiller_common::value::Row;
-use chiller_obs::{EventKind, Tracer};
+use chiller_obs::{EventKind, HistoryRecorder, Tracer};
 use chiller_simnet::{Actor, Ctx, Verb};
 use chiller_sproc::ExecState;
 use chiller_storage::placement::Placement;
@@ -95,6 +95,9 @@ pub struct EngineParams {
     /// Lifecycle tracer for this engine (disabled unless the cluster
     /// enables tracing; see `chiller_obs`).
     pub tracer: Tracer,
+    /// Observation recorder for serializability checking (disabled unless
+    /// the cluster enables `CHILLER_CHECK`; see `chiller_obs::history`).
+    pub recorder: HistoryRecorder,
     /// Rows the engine loads into its own stores at `on_start` instead of
     /// the builder loading them eagerly. On the threaded backend with
     /// core pinning, `on_start` runs on the already-pinned engine thread,
@@ -155,6 +158,8 @@ pub struct EngineActor {
     pub(crate) monitor: Option<ContentionMonitor>,
     /// Lifecycle tracer (no-op unless the cluster enables tracing).
     pub(crate) tracer: Tracer,
+    /// Observation recorder (no-op unless the cluster enables checking).
+    pub(crate) recorder: HistoryRecorder,
     /// In-flight migrations this engine coordinates (destination side).
     pub(crate) migrations: HashMap<TxnId, Migration>,
     /// Migration jobs waiting out a NO_WAIT retry backoff.
@@ -192,6 +197,7 @@ impl EngineActor {
             metrics: MetricSet::new(),
             monitor: params.monitor,
             tracer: params.tracer,
+            recorder: params.recorder,
             migrations: HashMap::new(),
             mig_retries: HashMap::new(),
             mig_seq: 0,

@@ -152,6 +152,7 @@ impl EngineActor {
                 granted,
                 missing,
                 row,
+                version,
                 ..
             } => {
                 debug_assert_eq!(mig.phase, MigPhase::Src);
@@ -167,7 +168,7 @@ impl EngineActor {
                     return;
                 }
                 let row = row.expect("granted migration copy carries the row");
-                self.install_copy_and_replicate(ctx, txn, mig, row);
+                self.install_copy_and_replicate(ctx, txn, mig, row, version);
             }
             Msg::ReplicateAck { .. } => {
                 debug_assert_eq!(mig.phase, MigPhase::Replicas);
@@ -197,9 +198,15 @@ impl EngineActor {
         txn: TxnId,
         mut mig: Migration,
         row: Row,
+        src_version: u64,
     ) {
+        // `insert_migrated` continues the source's per-record version chain
+        // at the destination, so the moved record keeps one monotone
+        // version history (the serializability checker depends on this; a
+        // plain insert would restart the destination's counter and mint
+        // duplicate version numbers for the same record).
         self.store
-            .insert(mig.job.record, row.clone())
+            .insert_migrated(mig.job.record, row.clone(), src_version)
             .expect("migrated-in record must be fresh at the destination");
         // The record is ours again: a future miss on it would be a genuine
         // existence fault, not a stale-routing race.
@@ -278,6 +285,7 @@ impl EngineActor {
                     granted: false,
                     missing: false,
                     row: None,
+                    version: 0,
                 }
             }
             Ok(()) => match self.store.read_opt(record).cloned() {
@@ -286,6 +294,7 @@ impl EngineActor {
                     granted: true,
                     missing: false,
                     row: Some(row),
+                    version: self.store.record_version(record),
                 },
                 None => {
                     self.store.unlock(record, txn, now);
@@ -294,6 +303,7 @@ impl EngineActor {
                         granted: false,
                         missing: true,
                         row: None,
+                        version: 0,
                     }
                 }
             },

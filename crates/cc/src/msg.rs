@@ -158,6 +158,11 @@ pub enum Msg {
         missing: bool,
         /// The current row, when granted.
         row: Option<Row>,
+        /// The record's per-record version at the source when granted, so
+        /// the destination install continues the same version chain (the
+        /// serializability checker needs one monotone chain per record
+        /// across migrations; see `PartitionStore::insert_migrated`).
+        version: u64,
     },
     /// Destination → source after the re-publish flip: delete the source
     /// copy, release the migration lock, and replicate the deletion.

@@ -10,11 +10,30 @@ use crate::msg::{LockReadItem, Msg, OccReadItem, ValidateItem, WriteItem, WriteK
 use chiller_common::ids::{NodeId, OpId, PartitionId, RecordId, TxnId};
 use chiller_common::time::SimTime;
 use chiller_common::value::Row;
-use chiller_obs::EventKind;
+use chiller_obs::{EventKind, HistoryEventKind};
 use chiller_simnet::Ctx;
 use chiller_storage::lock::LockMode;
 
 impl EngineActor {
+    /// Record a versioned read observation for the serializability checker
+    /// (no-op unless checking is on; the version lookup is gated so the
+    /// off path costs one branch).
+    #[inline]
+    pub(crate) fn observe_read(&mut self, txn: TxnId, record: RecordId, now: SimTime) {
+        if self.recorder.enabled() {
+            let version = self.store.record_version(record);
+            self.recorder.record(
+                now.as_nanos(),
+                self.node,
+                HistoryEventKind::ReadObs {
+                    txn,
+                    record,
+                    version,
+                },
+            );
+        }
+    }
+
     /// Release a primary-store lock, folding the observed contention span
     /// into the hot/cold histograms (and, in full trace mode, emitting the
     /// lock-hold span).
@@ -119,6 +138,7 @@ impl EngineActor {
                         .expect("existence checked")
                         .clone(),
                 ));
+                self.observe_read(txn, item.record, now);
             }
         }
         let ok = conflict.is_none() && missing.is_none();
@@ -143,8 +163,9 @@ impl EngineActor {
         );
     }
 
-    /// Apply a write item to the primary store.
-    fn apply_write(&mut self, w: &WriteItem) {
+    /// Apply a write item to the primary store, recording the installed
+    /// per-record version when serializability checking is on.
+    fn apply_write(&mut self, w: &WriteItem, txn: TxnId, now: SimTime) {
         match &w.kind {
             WriteKind::Put(row) => self.store.write(w.record, row.clone()),
             WriteKind::Insert(row) => {
@@ -159,6 +180,18 @@ impl EngineActor {
                     .expect("delete validated under lock");
             }
         }
+        if self.recorder.enabled() {
+            let version = self.store.record_version(w.record);
+            self.recorder.record(
+                now.as_nanos(),
+                self.node,
+                HistoryEventKind::WriteObs {
+                    txn,
+                    record: w.record,
+                    version,
+                },
+            );
+        }
     }
 
     /// WRITE-back + unlock at commit time (one-sided; prepare piggybacked).
@@ -170,10 +203,10 @@ impl EngineActor {
         writes: Vec<WriteItem>,
         unlocks: Vec<RecordId>,
     ) {
-        for w in &writes {
-            self.apply_write(w);
-        }
         let now = ctx.now();
+        for w in &writes {
+            self.apply_write(w, txn, now);
+        }
         for rid in unlocks {
             self.unlock_with_metrics(rid, txn, now);
         }
@@ -246,7 +279,8 @@ impl EngineActor {
         req: u64,
         items: Vec<OccReadItem>,
     ) {
-        let rows = items
+        let now = ctx.now();
+        let rows: Vec<_> = items
             .iter()
             .map(|it| {
                 let row = if it.want_row {
@@ -257,6 +291,12 @@ impl EngineActor {
                 (it.op, row, self.store.version(it.record))
             })
             .collect();
+        // Every OCC item's version is pinned by validation — write-set
+        // entries included — so each one is a genuine versioned
+        // observation whether or not the row came back.
+        for it in &items {
+            self.observe_read(txn, it.record, now);
+        }
         ctx.send(
             src,
             chiller_simnet::Verb::OneSided,
@@ -322,12 +362,12 @@ impl EngineActor {
         writes: Vec<WriteItem>,
         latched: Vec<RecordId>,
     ) {
+        let now = ctx.now();
         if commit {
             for w in &writes {
-                self.apply_write(w);
+                self.apply_write(w, txn, now);
             }
         }
-        let now = ctx.now();
         for rid in latched {
             self.unlock_with_metrics(rid, txn, now);
         }
@@ -422,11 +462,13 @@ impl EngineActor {
             match &op.kind {
                 OpKind::Read { .. } => {
                     let row = self.store.read(rid).expect("existence checked").clone();
+                    self.observe_read(txn, rid, now);
                     exec.set_output(id, row);
                     produced.push(id);
                 }
                 OpKind::Update(apply) => {
                     let raw = self.store.read(rid).expect("existence checked").clone();
+                    self.observe_read(txn, rid, now);
                     let new = apply(&raw, &exec);
                     exec.set_output(id, new.clone());
                     produced.push(id);
@@ -488,7 +530,7 @@ impl EngineActor {
                 // Unilateral commit: apply, release (this is the shortened
                 // contention span), replicate fire-and-forget, reply.
                 for w in &writes {
-                    self.apply_write(w);
+                    self.apply_write(w, txn, now);
                 }
                 for rid in locked {
                     self.unlock_with_metrics(rid, txn, now);

@@ -6,12 +6,13 @@ use chiller_cc::engine::{EngineActor, EngineParams, HotSet, StagedRows};
 use chiller_cc::input::{InputSource, ProcRegistry};
 use chiller_cc::msg::Msg;
 use chiller_cc::Protocol;
+use chiller_checker::{CheckMode, CheckReport};
 use chiller_common::config::SimConfig;
 use chiller_common::error::{ChillerError, Result};
 use chiller_common::ids::{NodeId, PartitionId, RecordId};
 use chiller_common::time::{Duration, SimTime};
 use chiller_common::value::Row;
-use chiller_obs::{TraceLog, TraceMode, TraceSink, Tracer};
+use chiller_obs::{History, HistoryRecorder, HistorySink, TraceLog, TraceMode, TraceSink, Tracer};
 use chiller_simnet::{
     AsyncConfig, AsyncRuntime, Backend, Ctx, MailboxKind, PinPolicy, Runtime, Simulation,
     ThreadedConfig, ThreadedRuntime, DEFAULT_MAILBOX_CAPACITY,
@@ -84,6 +85,7 @@ pub struct ClusterBuilder {
     pin: Option<PinPolicy>,
     workers: Option<usize>,
     trace: Option<TraceMode>,
+    check: Option<CheckMode>,
 }
 
 impl ClusterBuilder {
@@ -110,7 +112,20 @@ impl ClusterBuilder {
             pin: None,
             workers: None,
             trace: None,
+            check: None,
         }
+    }
+
+    /// Select the serializability-checking mode (DESIGN.md §14):
+    /// [`CheckMode::Off`] (the default), bounded sliding windows, or the
+    /// full history. When enabled, every engine records the versioned
+    /// reads and installed writes of its transactions through a lock-free
+    /// ring (never stalling execution); [`Cluster::check_history`] drains
+    /// and checks them. Defaults to the `CHILLER_CHECK` environment knob
+    /// (off when unset); the builder override wins over the environment.
+    pub fn check(&mut self, mode: CheckMode) -> &mut Self {
+        self.check = Some(mode);
+        self
     }
 
     /// Select the transaction-lifecycle trace mode (DESIGN.md §13):
@@ -325,6 +340,13 @@ impl ClusterBuilder {
         let trace_buf = TraceMode::buf_from_env();
         let mut trace_sinks: Vec<TraceSink> = Vec::new();
 
+        // Serializability checking resolves the same way
+        // (`CHILLER_CHECK` / `CHILLER_CHECK_BUF`). When off, no rings
+        // exist and every engine carries a no-op recorder.
+        let check_mode = self.check.unwrap_or_else(CheckMode::from_env);
+        let check_buf = CheckMode::buf_from_env();
+        let mut history_sinks: Vec<HistorySink> = Vec::new();
+
         // With core pinning on the threaded backend, defer the initial
         // loads to each engine's `on_start`: it runs on the already-pinned
         // worker thread, so the first touch of every row lands on that
@@ -375,6 +397,13 @@ impl ClusterBuilder {
             } else {
                 Tracer::disabled()
             };
+            let recorder = if check_mode.enabled() {
+                let (recorder, sink) = HistoryRecorder::buffered(check_buf);
+                history_sinks.push(sink);
+                recorder
+            } else {
+                HistoryRecorder::disabled()
+            };
             actors.push(EngineActor::new(EngineParams {
                 node,
                 num_nodes: self.nodes,
@@ -388,6 +417,7 @@ impl ClusterBuilder {
                 source: source_factory(node),
                 monitor,
                 tracer,
+                recorder,
                 staged: std::mem::take(&mut staged[n]),
             }));
         }
@@ -424,6 +454,11 @@ impl ClusterBuilder {
                 sinks: trace_sinks,
                 log: TraceLog::default(),
             },
+            check: CheckState {
+                mode: check_mode,
+                sinks: history_sinks,
+                history: History::default(),
+            },
         })
     }
 }
@@ -434,6 +469,17 @@ struct TraceState {
     mode: TraceMode,
     sinks: Vec<TraceSink>,
     log: TraceLog,
+}
+
+/// Serializability-check plumbing: the consumer half of every engine's
+/// history ring plus the observations accumulated across drains. Unlike
+/// traces, accumulated history is *never* discarded at a metrics reset —
+/// a transaction straddling the warm-up boundary must keep its reads and
+/// its commit in one history or the checker would see a torn transaction.
+struct CheckState {
+    mode: CheckMode,
+    sinks: Vec<HistorySink>,
+    history: History,
 }
 
 /// Control-plane state of an adapting cluster.
@@ -462,6 +508,7 @@ pub struct Cluster {
     rt: Box<dyn Runtime<Msg, EngineActor>>,
     adaptive: Option<AdaptiveState>,
     trace: TraceState,
+    check: CheckState,
 }
 
 impl Cluster {
@@ -524,6 +571,11 @@ impl Cluster {
         }
         self.pump_trace();
         self.trace.log = TraceLog::default();
+        // History is pumped so the rings cannot overflow across a long
+        // warm-up, but — unlike traces — NOT discarded: serializability is
+        // a whole-run property, and a warm-up discard here would tear a
+        // boundary-straddling transaction's reads from its commit marker.
+        self.pump_history();
     }
 
     /// The active trace mode (resolved from the builder override or the
@@ -550,6 +602,62 @@ impl Cluster {
         }
     }
 
+    /// The active serializability-check mode (resolved from the builder
+    /// override or the `CHILLER_CHECK` environment knob at build time).
+    pub fn check_mode(&self) -> CheckMode {
+        self.check.mode
+    }
+
+    /// Drain every engine's history ring and hand over the accumulated
+    /// observation history (all of it, warm-up included). Empty when
+    /// checking is off.
+    pub fn take_history(&mut self) -> History {
+        self.pump_history();
+        std::mem::take(&mut self.check.history)
+    }
+
+    /// Drain and check the accumulated history for serializability under
+    /// the cluster's check mode: assemble committed transactions, build
+    /// WR/WW/RW dependency edges, and search for cycles. The history is
+    /// consumed. Vacuously ok when checking is off.
+    ///
+    /// Call after [`Self::quiesce`] so no transaction is mid-flight —
+    /// an in-flight transaction's partial footprint is filtered out (no
+    /// commit marker yet), which hides exactly the accesses a concurrent
+    /// checker run would need.
+    pub fn check_history(&mut self) -> CheckReport {
+        let history = self.take_history();
+        chiller_checker::check_history(&history, self.check.mode)
+    }
+
+    /// Assert the recorded history is serializable and complete (no
+    /// dropped observations), panicking with the full violation list
+    /// otherwise. `label` names the run in the panic message. No-op when
+    /// checking is off.
+    pub fn expect_serializable(&mut self, label: &str) {
+        let report = self.check_history();
+        assert!(
+            report.is_complete(),
+            "[{label}] history incomplete: {} observations dropped — raise CHILLER_CHECK_BUF",
+            report.events_dropped
+        );
+        if !report.ok() {
+            let mut msg = format!("[{label}] serializability violated — {}", report.summary());
+            for v in &report.violations {
+                msg.push_str(&format!("\n  {v}"));
+            }
+            panic!("{msg}");
+        }
+    }
+
+    /// Move buffered observations out of the per-engine history rings into
+    /// the accumulated history (same SPSC contract as [`Self::pump_trace`]).
+    fn pump_history(&mut self) {
+        for sink in &mut self.check.sinks {
+            sink.drain_into(&mut self.check.history);
+        }
+    }
+
     /// The execution backend driving this cluster.
     pub fn backend(&self) -> Backend {
         self.rt.backend()
@@ -557,6 +665,7 @@ impl Cluster {
 
     fn collect(&mut self, elapsed: Duration, wall: std::time::Duration) -> RunReport {
         self.pump_trace();
+        self.pump_history();
         let mut telemetry = self.rt.telemetry();
         telemetry.trace_events_dropped = self.trace.log.dropped;
         RunReport::collect(
@@ -730,5 +839,6 @@ impl Cluster {
         }
         self.rt.run_to_quiescence(u64::MAX);
         self.pump_trace();
+        self.pump_history();
     }
 }

@@ -63,11 +63,12 @@ pub mod prelude {
     pub use chiller_adaptive::{AdaptiveConfig, Directory};
     pub use chiller_cc::input::{InputSource, ProcRegistry, ScriptedSource, TxnInput};
     pub use chiller_cc::Protocol;
+    pub use chiller_checker::{Anomaly, CheckMode, CheckReport};
     pub use chiller_common::config::{EngineConfig, NetworkConfig, ReplicationConfig, SimConfig};
     pub use chiller_common::ids::{NodeId, PartitionId, RecordId, TableId, TxnId};
     pub use chiller_common::time::{Duration, SimTime};
     pub use chiller_common::value::{Row, Value};
-    pub use chiller_obs::{RuntimeTelemetry, TraceLog, TraceMode};
+    pub use chiller_obs::{History, RuntimeTelemetry, TraceLog, TraceMode};
     pub use chiller_simnet::{Backend, MailboxKind, PinPolicy};
     pub use chiller_sproc::{ProcedureBuilder, RegionSplit};
     pub use chiller_storage::placement::{

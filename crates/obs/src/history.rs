@@ -1,0 +1,252 @@
+//! Recorded-history transport: the observation side of black-box
+//! serializability checking (DESIGN.md §14).
+//!
+//! Engines record three kinds of observation — the version a committed
+//! transaction *read* for each record, the version each of its writes
+//! *installed*, and the commit itself — into a per-engine lock-free SPSC
+//! ring, exactly like the lifecycle [`crate::Tracer`]: pushes are
+//! wait-free and never stall an engine; a full ring counts drops instead
+//! of blocking. The control plane drains every ring at phase boundaries
+//! into a [`History`], which `chiller-checker` assembles into committed
+//! transactions and checks for dependency cycles.
+//!
+//! Aborted attempts need no filtering at record time: every attempt runs
+//! under a fresh `TxnId`, so observations from attempts that never emit a
+//! [`HistoryEventKind::Commit`] simply drop out at assembly.
+
+use chiller_common::{NodeId, RecordId, TxnId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default per-engine history ring capacity (events). Override with
+/// `CHILLER_CHECK_BUF`. Overflow never blocks the engine: excess events
+/// are counted as dropped and reported on the [`History`].
+pub const DEFAULT_HISTORY_BUF: usize = 1 << 16;
+
+/// One recorded observation. `ts` is nanoseconds on the owning runtime's
+/// clock (virtual time on the simulator, monotonic wall time otherwise);
+/// `node` is the engine that observed it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistoryEvent {
+    /// Clock timestamp in nanoseconds (sim-time or wall-time).
+    pub ts: u64,
+    /// Engine that recorded the observation.
+    pub node: NodeId,
+    /// What was observed.
+    pub kind: HistoryEventKind,
+}
+
+/// The observation taxonomy: versioned reads, versioned writes, commits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistoryEventKind {
+    /// The transaction read `record` and observed the state installed by
+    /// its `version`-th committed write (0 = initial load, never written).
+    ReadObs {
+        /// Reading transaction.
+        txn: TxnId,
+        /// Record read.
+        record: RecordId,
+        /// Per-record version observed (see `PartitionStore::record_version`).
+        version: u64,
+    },
+    /// The transaction's commit installed the `version`-th write of
+    /// `record` (a delete counts: it installs a tombstone version).
+    WriteObs {
+        /// Writing transaction.
+        txn: TxnId,
+        /// Record written.
+        record: RecordId,
+        /// Per-record version this write installed.
+        version: u64,
+    },
+    /// The transaction committed (recorded at its coordinator). Attempts
+    /// without this event are aborts and drop out at assembly.
+    Commit {
+        /// Committed transaction.
+        txn: TxnId,
+    },
+}
+
+impl HistoryEventKind {
+    /// The transaction this observation belongs to.
+    pub fn txn(&self) -> TxnId {
+        match *self {
+            HistoryEventKind::ReadObs { txn, .. }
+            | HistoryEventKind::WriteObs { txn, .. }
+            | HistoryEventKind::Commit { txn } => txn,
+        }
+    }
+}
+
+/// Per-engine observation producer. Owned by the engine actor so it moves
+/// with the actor between phases and threads; pushes are wait-free
+/// (Lamport SPSC) and never block — a full ring counts the event as
+/// dropped.
+pub struct HistoryRecorder {
+    tx: Option<ringq::spsc::Producer<HistoryEvent>>,
+    dropped: Option<Arc<AtomicU64>>,
+}
+
+impl std::fmt::Debug for HistoryRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HistoryRecorder")
+            .field("enabled", &self.tx.is_some())
+            .finish()
+    }
+}
+
+impl HistoryRecorder {
+    /// A recorder that records nothing (checking off: no ring is allocated,
+    /// every record call is a branch on a `None`).
+    pub fn disabled() -> HistoryRecorder {
+        HistoryRecorder {
+            tx: None,
+            dropped: None,
+        }
+    }
+
+    /// A recorder feeding a `capacity`-event ring, plus the sink the
+    /// control plane drains at phase boundaries.
+    pub fn buffered(capacity: usize) -> (HistoryRecorder, HistorySink) {
+        let (tx, rx) = ringq::spsc::bounded(capacity.max(1));
+        let dropped = Arc::new(AtomicU64::new(0));
+        (
+            HistoryRecorder {
+                tx: Some(tx),
+                dropped: Some(Arc::clone(&dropped)),
+            },
+            HistorySink { rx, dropped },
+        )
+    }
+
+    /// Whether observations are recorded at all. Hot paths gate the
+    /// version lookup behind this so checking off costs one branch.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.tx.is_some()
+    }
+
+    /// Push one observation; never blocks. A full ring drops the event and
+    /// bumps the shared drop counter.
+    #[inline]
+    pub fn record(&mut self, ts: u64, node: NodeId, kind: HistoryEventKind) {
+        if let Some(tx) = &mut self.tx {
+            if tx.push(HistoryEvent { ts, node, kind }).is_err() {
+                if let Some(d) = &self.dropped {
+                    d.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+/// Consumer half of one engine's history ring. The control plane drains
+/// all sinks into a [`History`] at phase boundaries (the engines are
+/// quiescent then, so drains race with nothing).
+pub struct HistorySink {
+    rx: ringq::spsc::Consumer<HistoryEvent>,
+    dropped: Arc<AtomicU64>,
+}
+
+impl HistorySink {
+    /// Move every buffered observation into `history` and fold in the drop
+    /// count accumulated since the last drain.
+    pub fn drain_into(&mut self, history: &mut History) {
+        while let Some(ev) = self.rx.pop() {
+            history.events.push(ev);
+        }
+        history.dropped += self.dropped.swap(0, Ordering::Relaxed);
+    }
+}
+
+/// All drained observations of a run, in per-engine push order (drain
+/// order across engines is by node id; the checker groups by transaction,
+/// so cross-engine interleaving is irrelevant).
+#[derive(Debug, Default)]
+pub struct History {
+    /// Drained observations.
+    pub events: Vec<HistoryEvent>,
+    /// Observations lost to full rings. A nonzero count makes the history
+    /// incomplete: the checker reports it and callers should size
+    /// `CHILLER_CHECK_BUF` up rather than trust a partial verdict.
+    pub dropped: u64,
+}
+
+impl History {
+    /// Number of buffered observations.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chiller_common::TableId;
+
+    fn txn(node: u32, seq: u64) -> TxnId {
+        TxnId::new(NodeId(node), seq)
+    }
+
+    fn rid(k: u64) -> RecordId {
+        RecordId::new(TableId(1), k)
+    }
+
+    #[test]
+    fn disabled_recorder_is_a_noop() {
+        let mut r = HistoryRecorder::disabled();
+        assert!(!r.enabled());
+        r.record(1, NodeId(0), HistoryEventKind::Commit { txn: txn(0, 1) });
+    }
+
+    #[test]
+    fn buffered_recorder_roundtrips_observations() {
+        let (mut r, mut sink) = HistoryRecorder::buffered(8);
+        assert!(r.enabled());
+        r.record(
+            10,
+            NodeId(1),
+            HistoryEventKind::ReadObs {
+                txn: txn(1, 3),
+                record: rid(7),
+                version: 2,
+            },
+        );
+        r.record(
+            20,
+            NodeId(1),
+            HistoryEventKind::WriteObs {
+                txn: txn(1, 3),
+                record: rid(7),
+                version: 3,
+            },
+        );
+        r.record(30, NodeId(1), HistoryEventKind::Commit { txn: txn(1, 3) });
+        let mut h = History::default();
+        sink.drain_into(&mut h);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.dropped, 0);
+        assert_eq!(h.events[0].kind.txn(), txn(1, 3));
+        assert_eq!(
+            h.events[2].kind,
+            HistoryEventKind::Commit { txn: txn(1, 3) }
+        );
+    }
+
+    #[test]
+    fn full_ring_counts_drops_instead_of_blocking() {
+        let (mut r, mut sink) = HistoryRecorder::buffered(2);
+        for i in 0..5u64 {
+            r.record(i, NodeId(0), HistoryEventKind::Commit { txn: txn(0, i) });
+        }
+        let mut h = History::default();
+        sink.drain_into(&mut h);
+        assert_eq!(h.len() as u64 + h.dropped, 5);
+        assert!(h.dropped >= 1, "capacity-2 ring must have dropped");
+    }
+}

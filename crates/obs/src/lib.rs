@@ -14,6 +14,12 @@
 //!   [`TraceMode`] (`CHILLER_TRACE` / `ClusterBuilder::trace`): when off, the
 //!   tracer is a `None` producer and every record call is a branch on a
 //!   local field — nothing is allocated and no ring exists.
+//! * **History recording** ([`HistoryRecorder`] / [`History`]): versioned
+//!   read/write observations plus commits, pushed through the same SPSC
+//!   ring discipline and drained into the input of the black-box
+//!   serializability checker (`chiller-checker`, DESIGN.md §14). Gated by
+//!   `CHILLER_CHECK` / `ClusterBuilder::check`: when off, no ring exists
+//!   and every record call is one branch.
 //! * **Runtime telemetry** ([`RuntimeTelemetry`]): always-on counters for the
 //!   scheduler internals the threaded and async backends were previously
 //!   debugged blind on — batches drained, flush stalls, parked-queue depth
@@ -31,9 +37,13 @@
 #![warn(missing_docs)]
 
 mod export;
+mod history;
 mod telemetry;
 mod trace;
 
+pub use history::{
+    History, HistoryEvent, HistoryEventKind, HistoryRecorder, HistorySink, DEFAULT_HISTORY_BUF,
+};
 pub use telemetry::RuntimeTelemetry;
 pub use trace::{
     EventKind, TraceEvent, TraceLog, TraceMode, TraceSink, Tracer, DEFAULT_SAMPLE_INTERVAL,

@@ -22,6 +22,13 @@ pub struct Bucket {
     pub lock: LockState,
     /// Bumped on every committed write/insert/delete.
     version: u64,
+    /// Per-record write counters for history recording. Unlike the bucket
+    /// version (which couples neighbors by design — it is what OCC
+    /// validates), these identify exactly which record a write installed,
+    /// so the serializability checker never sees a spurious cross-key
+    /// edge. Entries survive `remove` (a delete is itself a versioned
+    /// write), keeping versions monotone across delete + re-insert.
+    record_versions: BTreeMap<u64, u64>,
 }
 
 impl Bucket {
@@ -31,6 +38,19 @@ impl Bucket {
 
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// The per-record write counter of `key`: 0 if never written, otherwise
+    /// the number of committed writes (including deletes) it has absorbed.
+    pub fn record_version(&self, key: u64) -> u64 {
+        self.record_versions.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Force `key`'s write counter to `v` (migration carry-over: the
+    /// destination continues the source's version chain so one record never
+    /// installs the same version twice across partitions).
+    pub fn set_record_version(&mut self, key: u64, v: u64) {
+        self.record_versions.insert(key, v);
     }
 
     pub fn len(&self) -> usize {
@@ -53,6 +73,7 @@ impl Bucket {
     pub fn put(&mut self, key: u64, row: Row) {
         self.records.insert(key, row);
         self.version += 1;
+        *self.record_versions.entry(key).or_insert(0) += 1;
     }
 
     /// Insert a new record; returns `false` (without bumping the version) if
@@ -64,6 +85,7 @@ impl Bucket {
             Entry::Vacant(v) => {
                 v.insert(row);
                 self.version += 1;
+                *self.record_versions.entry(key).or_insert(0) += 1;
                 true
             }
         }
@@ -74,6 +96,7 @@ impl Bucket {
         let old = self.records.remove(&key);
         if old.is_some() {
             self.version += 1;
+            *self.record_versions.entry(key).or_insert(0) += 1;
         }
         old
     }
@@ -134,6 +157,30 @@ mod tests {
         assert!(!b.insert_new(1, row1(2)));
         assert_eq!(b.get(1).unwrap()[0].as_i64(), 1);
         assert_eq!(b.version(), 1);
+    }
+
+    #[test]
+    fn record_versions_are_per_key_and_survive_delete() {
+        let mut b = Bucket::new();
+        assert_eq!(b.record_version(1), 0);
+        b.put(1, row1(1));
+        b.put(2, row1(2));
+        // Neighbors do not couple: key 1 saw one write, key 2 one write.
+        assert_eq!(b.record_version(1), 1);
+        assert_eq!(b.record_version(2), 1);
+        b.put(1, row1(10));
+        assert_eq!(b.record_version(1), 2);
+        assert_eq!(b.record_version(2), 1);
+        // A delete is a versioned write, and the counter survives it so a
+        // re-insert continues the chain instead of duplicating version 1.
+        b.remove(1);
+        assert_eq!(b.record_version(1), 3);
+        assert!(b.insert_new(1, row1(99)));
+        assert_eq!(b.record_version(1), 4);
+        // Migration carry-over.
+        b.set_record_version(7, 42);
+        b.put(7, row1(7));
+        assert_eq!(b.record_version(7), 43);
     }
 
     #[test]

@@ -185,6 +185,27 @@ impl PartitionStore {
             .unwrap_or(0)
     }
 
+    /// Per-record write counter of `rid` (for history recording): 0 if never
+    /// written, monotone across deletes and re-inserts. Unlike
+    /// [`Self::version`] this never couples bucket neighbors.
+    pub fn record_version(&self, rid: RecordId) -> u64 {
+        self.table(rid.table)
+            .bucket_for(rid.key)
+            .map(|b| b.record_version(rid.key))
+            .unwrap_or(0)
+    }
+
+    /// Install a migrated-in record continuing the source's version chain:
+    /// the destination's counter is seeded with the source's value *before*
+    /// the insert bumps it, so the copy's observable version equals the
+    /// source's and later writes keep increasing from there.
+    pub fn insert_migrated(&mut self, rid: RecordId, row: Row, src_version: u64) -> Result<()> {
+        self.table_mut(rid.table)
+            .bucket_for_mut(rid.key)
+            .set_record_version(rid.key, src_version.saturating_sub(1));
+        self.insert(rid, row)
+    }
+
     /// Whether the bucket of `rid` is currently locked by anyone.
     pub fn is_locked(&self, rid: RecordId) -> bool {
         self.table(rid.table)

@@ -19,10 +19,14 @@
 //!   for controlled studies of the engines.
 //! * [`shift`] — hotspot-*shifting* wrappers over any source: the drifting
 //!   workloads that motivate the online-adaptation subsystem.
+//! * [`smallbank`] — the classic write-heavy SmallBank banking mix with a
+//!   countable conservation invariant: the certification workload for the
+//!   black-box serializability checker (`CHILLER_CHECK`).
 
 pub mod flight;
 pub mod instacart;
 pub mod shift;
+pub mod smallbank;
 pub mod tpcc;
 pub mod transfer;
 pub mod ycsb;
@@ -44,6 +48,7 @@ mod send_bounds {
         assert_send::<crate::tpcc::source::TpccSource>();
         assert_send::<crate::instacart::InstacartSource>();
         assert_send::<crate::flight::FlightSource>();
+        assert_send::<crate::smallbank::SmallBankSource>();
         assert_send::<crate::shift::ShiftedSource<crate::transfer::TransferSource>>();
         assert_send::<Box<dyn chiller_cc::input::InputSource>>();
     }

@@ -247,6 +247,28 @@ pub fn build_cluster_traced(
     workers: Option<usize>,
     trace: Option<TraceMode>,
 ) -> Cluster {
+    build_cluster_checked(
+        cfg, nodes, protocol, sim, backend, mailbox, pin, workers, trace, None,
+    )
+}
+
+/// [`build_cluster_traced`] with an explicit serializability-check mode
+/// (`None` defers to the `CHILLER_CHECK` environment knob). The checker
+/// parity suites and `bench_check_overhead` drive all modes through this
+/// door.
+#[allow(clippy::too_many_arguments)]
+pub fn build_cluster_checked(
+    cfg: &TransferConfig,
+    nodes: usize,
+    protocol: Protocol,
+    sim: SimConfig,
+    backend: Backend,
+    mailbox: Option<MailboxKind>,
+    pin: Option<PinPolicy>,
+    workers: Option<usize>,
+    trace: Option<TraceMode>,
+    check: Option<CheckMode>,
+) -> Cluster {
     let mut builder = ClusterBuilder::new(TransferConfig::schema(), nodes);
     let proc = builder.register_proc(transfer_proc());
     builder
@@ -267,6 +289,9 @@ pub fn build_cluster_traced(
     }
     if let Some(mode) = trace {
         builder.trace(mode);
+    }
+    if let Some(mode) = check {
+        builder.check(mode);
     }
     let cfg = cfg.clone();
     builder.source_per_node(move |_| Box::new(TransferSource::new(cfg.clone(), proc)));

@@ -14,7 +14,8 @@
 use chiller::cluster::RunSpec;
 use chiller::prelude::*;
 use chiller_workload::transfer::{
-    assert_serializability_invariants, build_cluster, build_cluster_scaled, TransferConfig,
+    assert_serializability_invariants, build_cluster, build_cluster_checked, build_cluster_scaled,
+    TransferConfig,
 };
 
 const NODES: usize = 4;
@@ -169,6 +170,47 @@ fn async_backend_survives_repeated_run_windows() {
     );
     cluster.quiesce();
     assert_serializability_invariants(&cluster, &cfg, "chiller windows (async)");
+}
+
+/// The serializability checker on the async backend, both mailbox kinds:
+/// engines run on real threads against a wall clock, so the recorded
+/// history exercises genuinely concurrent interleavings (not the
+/// simulator's serial event loop). Every protocol's history must still
+/// certify clean — an executor bug that reorders messages beyond
+/// per-link FIFO surfaces here as a dependency cycle even when the
+/// balance sum happens to survive.
+#[test]
+fn checker_certifies_async_runs_on_both_mailboxes() {
+    for (seed, mailbox) in [(11u64, MailboxKind::Ring), (31, MailboxKind::Channel)] {
+        for protocol in [Protocol::Chiller, Protocol::TwoPhaseLocking, Protocol::Occ] {
+            let cfg = contended_config();
+            let mut cluster = build_cluster_checked(
+                &cfg,
+                NODES,
+                protocol,
+                sim_config(seed, 4),
+                Backend::Async,
+                Some(mailbox),
+                Some(PinPolicy::Off),
+                Some(2),
+                Some(TraceMode::Off),
+                Some(CheckMode::Window(256)),
+            );
+            let report = cluster.run(RunSpec::millis(10, 100));
+            assert!(
+                report.total_commits() > 0,
+                "{protocol} ({mailbox}): committed nothing — {}",
+                report.summary()
+            );
+            cluster.quiesce();
+            assert_serializability_invariants(
+                &cluster,
+                &cfg,
+                &format!("{protocol} (async checked, {mailbox})"),
+            );
+            cluster.expect_serializable(&format!("{protocol} (async, {mailbox})"));
+        }
+    }
 }
 
 /// The multiplexing headline at cluster level: many more partitions than

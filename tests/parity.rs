@@ -17,8 +17,8 @@
 use chiller::cluster::RunSpec;
 use chiller::prelude::*;
 use chiller_workload::transfer::{
-    assert_serializability_invariants, build_cluster, build_cluster_on, build_shifting_cluster,
-    TransferConfig,
+    assert_serializability_invariants, build_cluster, build_cluster_checked, build_cluster_on,
+    build_shifting_cluster, TransferConfig,
 };
 
 const NODES: usize = 4;
@@ -200,6 +200,94 @@ fn explicit_sim_backend_is_byte_identical_to_default() {
             report_bytes(&ra),
             report_bytes(&rb),
             "{protocol}: explicit Backend::Simulated must be the same runtime"
+        );
+    }
+}
+
+/// Build a transfer cluster on the simulator with explicit trace and
+/// check modes (everything else at the suite's defaults).
+fn checked_cluster(protocol: Protocol, seed: u64, trace: TraceMode, check: CheckMode) -> Cluster {
+    build_cluster_checked(
+        &contended_config(),
+        NODES,
+        protocol,
+        sim_config(seed, 4),
+        Backend::Simulated,
+        None,
+        None,
+        None,
+        Some(trace),
+        Some(check),
+    )
+}
+
+/// The black-box serializability checker must certify every protocol's
+/// recorded history on a green run — full-history mode and the bounded
+/// sliding window both. This is the differential complement of the
+/// balance-conservation witness: conservation catches lost money, the
+/// checker catches any dependency cycle (including write skew, which a
+/// sum invariant can never see).
+#[test]
+fn checker_certifies_every_protocol_on_green_runs() {
+    for protocol in [Protocol::Chiller, Protocol::TwoPhaseLocking, Protocol::Occ] {
+        for check in [CheckMode::Full, CheckMode::Window(64)] {
+            let mut cluster = checked_cluster(protocol, 11, TraceMode::Off, check);
+            let report = cluster.run(RunSpec::millis(1, 8));
+            assert!(
+                report.total_commits() > 100,
+                "{protocol}: too few commits to certify — {}",
+                report.summary()
+            );
+            cluster.quiesce();
+            assert_serializability_invariants(&cluster, &contended_config(), &protocol.to_string());
+            let check_report = cluster.check_history();
+            assert!(
+                check_report.is_complete(),
+                "{protocol} ({check:?}): recording ring overflowed — raise the buffer"
+            );
+            assert!(
+                check_report.txns as u64 > 100,
+                "{protocol} ({check:?}): checker saw almost no transactions — \
+                 the recording hooks are not firing ({})",
+                check_report.summary()
+            );
+            assert!(
+                check_report.ok(),
+                "{protocol} ({check:?}): serializability violations on a green run:\n{}",
+                check_report
+                    .violations
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+        }
+    }
+}
+
+/// History recording must be invisible to the execution: a run with the
+/// checker (and tracing) on must be *byte-identical* to the same seed
+/// with everything off. Recording uses no RNG, no metrics, and no
+/// simulated CPU, so any divergence here means the observation layer
+/// perturbed the system under test.
+#[test]
+fn checked_and_traced_runs_are_byte_identical_to_plain_runs() {
+    for protocol in [Protocol::Chiller, Protocol::TwoPhaseLocking, Protocol::Occ] {
+        let run = |trace: TraceMode, check: CheckMode| {
+            let mut cluster = checked_cluster(protocol, 42, trace, check);
+            let report = cluster.run(RunSpec::millis(1, 8));
+            report_bytes(&report)
+        };
+        let plain = run(TraceMode::Off, CheckMode::Off);
+        let checked = run(TraceMode::Off, CheckMode::Full);
+        assert_eq!(
+            plain, checked,
+            "{protocol}: history recording perturbed the run"
+        );
+        let traced_checked = run(TraceMode::Full, CheckMode::Full);
+        assert_eq!(
+            plain, traced_checked,
+            "{protocol}: tracing + checking together perturbed the run"
         );
     }
 }
