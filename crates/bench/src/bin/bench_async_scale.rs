@@ -116,7 +116,13 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(if smoke { 1 } else { 5 });
     assert!(runs >= 1);
-    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let cores = chiller_simnet::sizing::detected_parallelism();
+    if cores < 4 {
+        eprintln!(
+            "WARNING: only {cores} detected cores — the fixed 4-worker pool points will measure \
+             oversubscription; treat cross-pool comparisons with suspicion on this host"
+        );
+    }
     let (warm_ms, measure_ms) = if smoke { (20, 100) } else { (50, 250) };
 
     // Partition counts sweep past any realistic core count; pool sizes

@@ -138,7 +138,13 @@ fn main() {
     assert!(runs >= 1);
     let concurrency = 4;
     let (warm_ms, measure_ms) = if smoke { (30, 150) } else { (200, 1_000) };
-    let cores = std::thread::available_parallelism().map_or(0, |p| p.get());
+    let cores = chiller_simnet::sizing::detected_parallelism();
+    if cores < nodes {
+        eprintln!(
+            "WARNING: {nodes} engine threads on {cores} detected cores — these numbers measure \
+             oversubscription, not per-thread scaling; lower CHILLER_NODES or use a bigger host"
+        );
+    }
     let cfg = workload();
 
     let matrix = [

@@ -1,0 +1,229 @@
+//! **WAL / group-commit cost**: what durability charges the commit path,
+//! and what fsync batching buys back — per protocol, on the threaded
+//! backend (real files, real fsyncs, wall-clock time).
+//!
+//! Three durability modes per protocol on the contended SmallBank mix:
+//!
+//! * `off`      — no WAL anywhere: the shipping default, and the
+//!   baseline. Logging off must be a branch on a `None`, nothing more.
+//! * `fsync1`   — WAL on, fsync after **every** commit mark: the naive
+//!   write-ahead discipline, priced honestly.
+//! * `group64`  — WAL on, group commit at the default batch (64 commit
+//!   marks per fsync) plus the batch-boundary flush: what the engine
+//!   actually ships.
+//!
+//! Runs are interleaved across modes (A, B, C, A, B, C, …) so host drift
+//! lands on every mode equally; each point is the median of its runs
+//! with (max−min)/median spread (DESIGN.md §10). Every durable run gets
+//! a **fresh** log directory — recovery is a different bench — and every
+//! run must still pass SmallBank's conservation invariant, so the bench
+//! cannot quietly trade correctness for speed. The fsync counts come
+//! from the run's own telemetry (`wal_fsyncs`), making the amortization
+//! claim auditable: `fsync1` fsyncs ≈ commit marks, `group64` fsyncs ≈
+//! marks / 64.
+//!
+//! Env knobs: `CHILLER_SMOKE=1` shrinks windows and runs one repetition;
+//! `CHILLER_NODES=<n>` engine threads (default 4); `CHILLER_RUNS=<n>`
+//! repetitions per point (default 5); `CHILLER_BENCH_JSON=<dir>` writes
+//! `BENCH_wal_group_commit.json`. `CHILLER_WAL` must be **unset** — the
+//! bench owns durability per mode and refuses an ambient override.
+
+use chiller::cluster::RunSpec;
+use chiller::prelude::*;
+use chiller_bench::{emit, ktps, median_run};
+use chiller_workload::smallbank::{
+    assert_smallbank_invariants, build_cluster_durable, SmallBankConfig,
+};
+use std::path::PathBuf;
+
+fn workload() -> SmallBankConfig {
+    SmallBankConfig {
+        accounts: 400,
+        hot_accounts: 8,
+        hot_fraction: 0.4,
+    }
+}
+
+fn sim_config() -> SimConfig {
+    let mut sim = SimConfig {
+        seed: 23,
+        ..SimConfig::default()
+    };
+    sim.engine.concurrency = 4;
+    sim
+}
+
+/// Fresh scratch log directory for one durable run.
+fn fresh_dir(tag: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("chiller-bench-wal-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench WAL dir");
+    dir
+}
+
+struct Sample {
+    tps: f64,
+    commits: u64,
+    fsyncs: u64,
+    wal_mib: f64,
+}
+
+/// Keyed for `median_run`: throughput, carrying (commits, fsyncs, MiB).
+type KeyedSample = (f64, (u64, u64, f64));
+
+fn run_once(
+    protocol: Protocol,
+    nodes: usize,
+    fsync_batch: Option<u64>,
+    measure_ms: u64,
+    tag: u64,
+) -> Sample {
+    let dir = fsync_batch.map(|_| fresh_dir(tag));
+    if let Some(batch) = fsync_batch {
+        std::env::set_var("CHILLER_FSYNC_BATCH", batch.to_string());
+    }
+    let cfg = workload();
+    let mut cluster = build_cluster_durable(
+        &cfg,
+        nodes,
+        protocol,
+        sim_config(),
+        Backend::Threaded,
+        None,
+        None,
+        dir.as_deref(),
+    );
+    // Zero warm-up: the conservation invariant audits *all* commits, so
+    // nothing may be discarded. All modes are equally unwarmed.
+    let report = cluster.run(RunSpec::millis(0, measure_ms));
+    cluster.quiesce();
+    assert_smallbank_invariants(&cluster, &cfg, &format!("{protocol} wal bench"));
+    std::env::remove_var("CHILLER_FSYNC_BATCH");
+    if let Some(d) = &dir {
+        let _ = std::fs::remove_dir_all(d);
+    }
+    Sample {
+        tps: report.wall_throughput(),
+        commits: report.total_commits(),
+        fsyncs: report.telemetry.wal_fsyncs,
+        wal_mib: report.telemetry.wal_bytes_appended as f64 / (1024.0 * 1024.0),
+    }
+}
+
+fn main() {
+    assert!(
+        std::env::var("CHILLER_WAL").is_err(),
+        "unset CHILLER_WAL: this bench controls durability per mode"
+    );
+    let smoke = std::env::var("CHILLER_SMOKE").is_ok();
+    let nodes: usize = std::env::var("CHILLER_NODES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let runs: usize = std::env::var("CHILLER_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 1 } else { 5 });
+    assert!(runs >= 1);
+    let measure_ms = if smoke { 150 } else { 1_000 };
+    let cores = chiller_simnet::sizing::detected_parallelism();
+    if cores < nodes {
+        eprintln!(
+            "WARNING: {nodes} engine threads on {cores} detected cores — durability overheads \
+             will be inflated by scheduling noise"
+        );
+    }
+
+    let modes: [(&str, Option<u64>); 3] =
+        [("off", None), ("fsync1", Some(1)), ("group64", Some(64))];
+    let protocols = [Protocol::Chiller, Protocol::TwoPhaseLocking, Protocol::Occ];
+
+    let mut rows = Vec::new();
+    let mut derived: Vec<(&str, String)> = Vec::new();
+    let mut tag = 0u64;
+    for protocol in protocols {
+        let mut samples: Vec<Vec<KeyedSample>> = vec![Vec::new(); modes.len()];
+        for _ in 0..runs {
+            for (i, (_, batch)) in modes.iter().enumerate() {
+                tag += 1;
+                let s = run_once(protocol, nodes, *batch, measure_ms, tag);
+                samples[i].push((s.tps, (s.commits, s.fsyncs, s.wal_mib)));
+            }
+        }
+        let medians: Vec<_> = samples.into_iter().map(median_run).collect();
+        let off_tps = medians[0].median;
+        for ((label, _), m) in modes.iter().zip(&medians) {
+            let (commits, fsyncs, wal_mib) = m.payload;
+            let overhead_pct = if off_tps > 0.0 {
+                (off_tps - m.median) / off_tps * 100.0
+            } else {
+                0.0
+            };
+            rows.push(vec![
+                protocol.to_string(),
+                label.to_string(),
+                ktps(m.median),
+                format!("{:.1}", m.spread_pct),
+                format!("{overhead_pct:.2}"),
+                commits.to_string(),
+                fsyncs.to_string(),
+                format!("{wal_mib:.2}"),
+            ]);
+        }
+        let (_, fsync1_syncs, _) = medians[1].payload;
+        let (_, group_syncs, _) = medians[2].payload;
+        let amortization = if group_syncs > 0 {
+            fsync1_syncs as f64 / group_syncs as f64
+        } else {
+            0.0
+        };
+        let group_overhead = if off_tps > 0.0 {
+            (off_tps - medians[2].median) / off_tps * 100.0
+        } else {
+            0.0
+        };
+        let key_amort: &'static str = match protocol {
+            Protocol::Chiller => "chiller_fsync_amortization_x",
+            Protocol::TwoPhaseLocking => "2pl_fsync_amortization_x",
+            _ => "occ_fsync_amortization_x",
+        };
+        let key_over: &'static str = match protocol {
+            Protocol::Chiller => "chiller_group64_overhead_pct",
+            Protocol::TwoPhaseLocking => "2pl_group64_overhead_pct",
+            _ => "occ_group64_overhead_pct",
+        };
+        derived.push((key_amort, format!("{amortization:.1}")));
+        derived.push((key_over, format!("{group_overhead:.2}")));
+    }
+
+    derived.push(("threads", nodes.to_string()));
+    derived.push(("runs_per_point", runs.to_string()));
+    derived.push(("measure_ms", measure_ms.to_string()));
+    derived.push(("detected_parallelism", cores.to_string()));
+    derived.push((
+        "methodology",
+        "interleaved repetitions, median per point; overhead_pct vs the same protocol's 'off' \
+         median; fresh log dir per durable run; every run passes SmallBank conservation; fsync \
+         counts from run telemetry"
+            .to_string(),
+    ));
+
+    emit(
+        "wal_group_commit",
+        "WAL durability cost and group-commit amortization: off / fsync1 / group64 per protocol \
+         (K txns/s, threaded backend)",
+        Backend::Threaded,
+        &[
+            "protocol",
+            "mode",
+            "ktps",
+            "spread_pct",
+            "overhead_pct",
+            "commits",
+            "fsyncs",
+            "wal_mib",
+        ],
+        &rows,
+        &derived,
+    );
+}

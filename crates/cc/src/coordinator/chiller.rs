@@ -158,6 +158,13 @@ fn send_inner(eng: &mut EngineActor, ctx: &mut Ctx<'_, Msg>, txn: TxnId, coord: 
             },
         );
     }
+    // Provisional decision: once the inner host unilaterally commits, the
+    // transaction IS committed (§3.3) even if this coordinator dies before
+    // outer phase 2. Log the outer writes known so far, tagged with the
+    // inner host; recovery treats the txn as committed iff that host's log
+    // carries `InnerCommit`. The final Decide from `commit_locked` (with
+    // `pending_inner: None` and the complete write-set) supersedes this.
+    super::log_decide(eng, txn, coord, Some(host));
     ctx.send(
         NodeId(host.0),
         Verb::Rpc,

@@ -96,6 +96,10 @@ pub(super) fn commit_locked(
     ctx.use_cpu(eng.txn_cpu());
     coord.phase = Phase::Committing;
     coord.pending = 0;
+    // Commit point: the decision (with the full outer write-set) goes to
+    // the coordinator's log before any write-back is sent, so recovery can
+    // repair participants that never saw their CommitOuter.
+    super::log_decide(eng, txn, coord, None);
 
     let mut writes_by_part: BTreeMap<PartitionId, Vec<WriteItem>> = BTreeMap::new();
     for (p, w) in coord.writes.drain(..) {

@@ -427,6 +427,40 @@ fn issue_wave(
     n
 }
 
+/// Log this attempt's commit decision — the full buffered outer write-set,
+/// tagged by home partition — to the coordinator's WAL. `pending_inner`
+/// marks a *provisional* decision taken before delegating the inner region
+/// (recovery resolves it against the inner host's `InnerCommit` marker,
+/// since the inner commit IS the decision for two-region transactions,
+/// §3.3); the final decision logged on the commit path carries `None`.
+/// Recovery keeps the **last** Decide per transaction, so a final record
+/// supersedes the provisional one.
+pub(crate) fn log_decide(
+    eng: &mut EngineActor,
+    txn: TxnId,
+    coord: &Coord,
+    pending_inner: Option<PartitionId>,
+) {
+    if !eng.durable() {
+        return;
+    }
+    let writes = coord
+        .writes
+        .iter()
+        .map(|(p, w)| chiller_storage::wal::DecideWrite {
+            partition: *p,
+            record: w.record,
+            op: w.kind.to_redo_op(),
+        })
+        .collect();
+    eng.wal_append(chiller_storage::wal::WalRecord::Decide {
+        txn,
+        proc: eng.proc_name(&coord.input).to_owned(),
+        pending_inner,
+        writes,
+    });
+}
+
 /// Account a successful commit and free the slot. Sets `Phase::Done`.
 pub(crate) fn finish_commit(
     eng: &mut EngineActor,
@@ -492,6 +526,11 @@ pub(crate) fn finish_commit(
             chiller_obs::HistoryEventKind::Commit { txn },
         );
     }
+    // Durability ack point: this commit counts toward `stats.commits`, so
+    // after a crash the recovered state must include it. The Ack record
+    // only becomes visible to recovery once flushed — and every kill point
+    // in the crash harness sits at a flush boundary — so acked ⟺ durable.
+    eng.wal_append(chiller_storage::wal::WalRecord::Ack { txn });
     coord.phase = Phase::Done;
     eng.schedule_fresh_start(ctx, coord.slot);
 }

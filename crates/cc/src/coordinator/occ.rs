@@ -223,6 +223,11 @@ fn occ_decide(
         Phase::Aborting
     };
     coord.pending = 0;
+    if commit {
+        // Commit point: log the decision before shipping writes/latch
+        // releases, mirroring the lock-based commit path.
+        super::log_decide(eng, txn, coord, None);
+    }
     let write_set: HashSet<RecordId> = coord.writes.iter().map(|(_, w)| w.record).collect();
     let mut writes_by_part: BTreeMap<PartitionId, Vec<_>> = BTreeMap::new();
     for (p, w) in &coord.writes {

@@ -41,6 +41,7 @@ use chiller_simnet::{Actor, Ctx, Verb};
 use chiller_sproc::ExecState;
 use chiller_storage::placement::Placement;
 use chiller_storage::store::PartitionStore;
+use chiller_storage::wal::{Wal, WalRecord, WalStats};
 use rand::rngs::StdRng;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -104,6 +105,17 @@ pub struct EngineParams {
     /// so the first touch of the row memory lands on that core's NUMA
     /// node. Empty (the default) means everything was loaded eagerly.
     pub staged: StagedRows,
+    /// Per-engine redo log, present iff the cluster runs durable
+    /// (`ClusterBuilder::durable` / `CHILLER_WAL`). `None` keeps every
+    /// logging site a single branch on this option — the same off-path
+    /// contract as the tracer and recorder.
+    pub wal: Option<Wal>,
+    /// First value of the engine's transaction sequence counter. Recovery
+    /// sets this to a fresh epoch band (`epoch << 32`) so post-restart
+    /// `TxnId`s can never collide with pre-crash ones — read-only
+    /// transactions leave no log trace, so scanning the WAL for the max
+    /// used sequence would not be enough.
+    pub txn_seq_start: u64,
 }
 
 /// Deferred initial rows for first-touch locality (see
@@ -173,6 +185,8 @@ pub struct EngineActor {
     /// Initial rows deferred to `on_start` for first-touch locality
     /// (drained on the first start; see [`EngineParams::staged`]).
     staged: StagedRows,
+    /// Redo log (durable clusters only; see [`EngineParams::wal`]).
+    pub(crate) wal: Option<Wal>,
 }
 
 impl EngineActor {
@@ -190,7 +204,7 @@ impl EngineActor {
             replicas: params.replicas,
             source: params.source,
             rng: seeded(seed),
-            txn_seq: 0,
+            txn_seq: params.txn_seq_start,
             txns: HashMap::new(),
             retries: HashMap::new(),
             accepting: true,
@@ -203,6 +217,7 @@ impl EngineActor {
             mig_seq: 0,
             migrated_out: HashSet::new(),
             staged: params.staged,
+            wal: params.wal,
         }
     }
 
@@ -270,6 +285,51 @@ impl EngineActor {
     /// Clear accumulated metrics (used to discard warm-up).
     pub fn reset_metrics(&mut self) {
         self.metrics = MetricSet::new();
+    }
+
+    /// Whether this engine logs to a WAL (durable cluster).
+    pub fn durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Append one record to the redo log; a single branch when durability
+    /// is off. Group commit lives inside the [`Wal`]: the append fsyncs
+    /// only when the buffered commit marks reach `CHILLER_FSYNC_BATCH`
+    /// (batch-boundary flushes come from [`Actor::on_batch_end`] and the
+    /// control plane's pause points).
+    #[inline]
+    pub(crate) fn wal_append(&mut self, rec: WalRecord) {
+        if let Some(wal) = self.wal.as_mut() {
+            wal.append(&rec);
+        }
+    }
+
+    /// Flush (write + fsync) anything buffered in the redo log. The
+    /// control plane calls this at every pause point — phase boundaries,
+    /// quiescence, and crash injection — so "paused" always implies
+    /// "durable up to here".
+    pub fn wal_flush(&mut self) {
+        if let Some(wal) = self.wal.as_mut() {
+            wal.flush();
+        }
+    }
+
+    /// The redo log's counters, when durability is on.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.wal.as_ref().map(|w| w.stats)
+    }
+
+    /// Checkpoint this engine's primary partition to `path` and truncate
+    /// the redo log (its records are now redundant — the snapshot contains
+    /// every applied write and the complete version map). Only sound on a
+    /// quiesced engine: an in-flight transaction elsewhere could still
+    /// need this node's `InnerCommit`/`Decide` records to resolve.
+    pub fn checkpoint_to(&mut self, path: &std::path::Path) -> std::io::Result<()> {
+        chiller_storage::wal::write_checkpoint(path, &self.store)?;
+        if let Some(wal) = self.wal.as_mut() {
+            wal.truncate();
+        }
+        Ok(())
     }
 
     pub(crate) fn op_cpu(&self) -> Duration {
@@ -516,6 +576,18 @@ impl Actor<Msg> for EngineActor {
             if let Some(job) = self.mig_retries.remove(&(token & TOKEN_MASK)) {
                 self.attempt_migration(ctx, job);
             }
+        }
+    }
+
+    fn on_batch_end(&mut self) {
+        // Group commit's batch valve: hand buffered log bytes to the OS at
+        // the same boundary remote sends flush on, but leave the fsync to
+        // the commit-mark counter (`CHILLER_FSYNC_BATCH`) — syncing every
+        // batch would put one fsync on nearly every message round and
+        // erase the amortization. One branch on the option when
+        // durability is off.
+        if let Some(wal) = self.wal.as_mut() {
+            wal.write_through();
         }
     }
 }

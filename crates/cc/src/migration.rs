@@ -35,6 +35,7 @@ use chiller_common::ids::{NodeId, RecordId, TxnId};
 use chiller_common::value::Row;
 use chiller_simnet::{Ctx, Verb};
 use chiller_storage::lock::LockMode;
+use chiller_storage::wal::{RedoOp, RedoWrite, WalRecord};
 
 /// One migration work item (a `RecordMove` plus retry bookkeeping).
 #[derive(Debug, Clone, Copy)]
@@ -208,6 +209,18 @@ impl EngineActor {
         self.store
             .insert_migrated(mig.job.record, row.clone(), src_version)
             .expect("migrated-in record must be fresh at the destination");
+        // Durability: the migrated-in copy must survive a destination crash
+        // once the source has retired its copy, so it goes to the redo log
+        // with its carried-over version (flushed before `MigrateFinish`).
+        let version = self.store.record_version(mig.job.record);
+        self.wal_append(WalRecord::Redo {
+            txn,
+            writes: vec![RedoWrite {
+                record: mig.job.record,
+                version,
+                op: RedoOp::Insert(row.clone()),
+            }],
+        });
         // The record is ours again: a future miss on it would be a genuine
         // existence fault, not a stale-routing race.
         self.migrated_out.remove(&mig.job.record);
@@ -248,6 +261,11 @@ impl EngineActor {
             .clone();
         dir.relocate(mig.job.record, self.store.partition, mig.job.hot_after);
         self.store.unlock(mig.job.record, txn, ctx.now());
+        // Hand-off barrier: the destination's copy (logged at install) must
+        // be on disk before the source is told to delete its own — after
+        // this flush, a crash of either side leaves at least one durable
+        // copy recoverable.
+        self.wal_flush();
         ctx.send(
             NodeId(mig.job.from.0),
             Verb::OneSided,
@@ -328,6 +346,18 @@ impl EngineActor {
         self.store
             .delete(record)
             .expect("migrated record present at the source until finish");
+        // The departure is a versioned write like any other: log the
+        // tombstone so replaying the source's log does not resurrect the
+        // record the destination now owns.
+        let version = self.store.record_version(record);
+        self.wal_append(WalRecord::Redo {
+            txn,
+            writes: vec![RedoWrite {
+                record,
+                version,
+                op: RedoOp::Delete,
+            }],
+        });
         self.store.unlock(record, txn, ctx.now());
         self.migrated_out.insert(record);
         let partition = self.store.partition;

@@ -46,6 +46,17 @@ pub enum WriteKind {
     Delete,
 }
 
+impl WriteKind {
+    /// The redo-log operation this write becomes in a WAL record.
+    pub(crate) fn to_redo_op(&self) -> chiller_storage::wal::RedoOp {
+        match self {
+            WriteKind::Put(row) => chiller_storage::wal::RedoOp::Put(row.clone()),
+            WriteKind::Insert(row) => chiller_storage::wal::RedoOp::Insert(row.clone()),
+            WriteKind::Delete => chiller_storage::wal::RedoOp::Delete,
+        }
+    }
+}
+
 /// Validation item for OCC: the version observed at read time.
 #[derive(Debug, Clone, Copy)]
 pub struct ValidateItem {

@@ -13,6 +13,7 @@ use chiller_common::value::Row;
 use chiller_obs::{EventKind, HistoryEventKind};
 use chiller_simnet::Ctx;
 use chiller_storage::lock::LockMode;
+use chiller_storage::wal::{RedoWrite, WalRecord};
 
 impl EngineActor {
     /// Record a versioned read observation for the serializability checker
@@ -164,8 +165,10 @@ impl EngineActor {
     }
 
     /// Apply a write item to the primary store, recording the installed
-    /// per-record version when serializability checking is on.
-    fn apply_write(&mut self, w: &WriteItem, txn: TxnId, now: SimTime) {
+    /// per-record version when serializability checking is on. Returns
+    /// that version for redo logging (0 when neither the recorder nor the
+    /// WAL needs it — the lookup stays off the undecorated hot path).
+    fn apply_write(&mut self, w: &WriteItem, txn: TxnId, now: SimTime) -> u64 {
         match &w.kind {
             WriteKind::Put(row) => self.store.write(w.record, row.clone()),
             WriteKind::Insert(row) => {
@@ -180,8 +183,11 @@ impl EngineActor {
                     .expect("delete validated under lock");
             }
         }
+        if !self.recorder.enabled() && self.wal.is_none() {
+            return 0;
+        }
+        let version = self.store.record_version(w.record);
         if self.recorder.enabled() {
-            let version = self.store.record_version(w.record);
             self.recorder.record(
                 now.as_nanos(),
                 self.node,
@@ -191,6 +197,33 @@ impl EngineActor {
                     version,
                 },
             );
+        }
+        version
+    }
+
+    /// Apply a committed write-set to the primary store and, on durable
+    /// engines, append one redo record carrying the installed versions.
+    /// The caller holds exclusive locks/latches on every record from
+    /// read/validate through this apply, so per-partition log order equals
+    /// apply order — the property replay relies on.
+    pub(crate) fn apply_writes(&mut self, writes: &[WriteItem], txn: TxnId, now: SimTime) {
+        let mut redo = if self.wal.is_some() && !writes.is_empty() {
+            Some(Vec::with_capacity(writes.len()))
+        } else {
+            None
+        };
+        for w in writes {
+            let version = self.apply_write(w, txn, now);
+            if let Some(redo) = redo.as_mut() {
+                redo.push(RedoWrite {
+                    record: w.record,
+                    version,
+                    op: w.kind.to_redo_op(),
+                });
+            }
+        }
+        if let Some(writes) = redo {
+            self.wal_append(WalRecord::Redo { txn, writes });
         }
     }
 
@@ -204,9 +237,7 @@ impl EngineActor {
         unlocks: Vec<RecordId>,
     ) {
         let now = ctx.now();
-        for w in &writes {
-            self.apply_write(w, txn, now);
-        }
+        self.apply_writes(&writes, txn, now);
         for rid in unlocks {
             self.unlock_with_metrics(rid, txn, now);
         }
@@ -364,9 +395,7 @@ impl EngineActor {
     ) {
         let now = ctx.now();
         if commit {
-            for w in &writes {
-                self.apply_write(w, txn, now);
-            }
+            self.apply_writes(&writes, txn, now);
         }
         for rid in latched {
             self.unlock_with_metrics(rid, txn, now);
@@ -529,9 +558,12 @@ impl EngineActor {
             None => {
                 // Unilateral commit: apply, release (this is the shortened
                 // contention span), replicate fire-and-forget, reply.
-                for w in &writes {
-                    self.apply_write(w, txn, now);
-                }
+                // On durable engines the redo and the InnerCommit marker
+                // are appended back-to-back, so one flush makes the §3.3
+                // decision and its effects durable together: recovery
+                // never finds the marker without the writes it covers.
+                self.apply_writes(&writes, txn, now);
+                self.wal_append(WalRecord::InnerCommit { txn });
                 for rid in locked {
                     self.unlock_with_metrics(rid, txn, now);
                 }

@@ -21,9 +21,12 @@ use chiller_sproc::Procedure;
 use chiller_storage::placement::{HashPlacement, Placement};
 use chiller_storage::schema::Schema;
 use chiller_storage::store::PartitionStore;
+use chiller_storage::wal::{read_checkpoint, StoreSnapshot, Wal, WalRecord, DEFAULT_FSYNC_BATCH};
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use crate::crash::{self, CrashSnapshot, RecoveryReport};
 use crate::report::RunReport;
 
 /// How long to run a workload: a warm-up window whose metrics are
@@ -86,6 +89,8 @@ pub struct ClusterBuilder {
     workers: Option<usize>,
     trace: Option<TraceMode>,
     check: Option<CheckMode>,
+    durable: Option<PathBuf>,
+    fsync_batch: Option<u64>,
 }
 
 impl ClusterBuilder {
@@ -113,7 +118,35 @@ impl ClusterBuilder {
             workers: None,
             trace: None,
             check: None,
+            durable: None,
+            fsync_batch: None,
         }
+    }
+
+    /// Make the cluster durable: every engine appends committed effects to
+    /// a per-node redo log under `dir` (`node-<n>.wal`), checkpoints land
+    /// beside them (`node-<n>.ckpt`), and a later `build()` against the
+    /// same directory recovers — checkpoint restore, version-exact redo
+    /// replay, in-doubt resolution, replica re-sync (DESIGN.md §15).
+    /// Defaults to the `CHILLER_WAL` environment knob (off when unset);
+    /// the builder override wins over the environment.
+    pub fn durable(&mut self, dir: impl Into<PathBuf>) -> &mut Self {
+        self.durable = Some(dir.into());
+        self
+    }
+
+    /// Group-commit batch: how many commit marks (`Decide`/`InnerCommit`
+    /// records) the redo log buffers before forcing an fsync. 1 fsyncs
+    /// every commit durably before the next; larger values amortize the
+    /// sync across a batch (the batch boundary and every control-plane
+    /// pause also flush). Defaults to the `CHILLER_FSYNC_BATCH`
+    /// environment knob, falling back to
+    /// [`chiller_storage::wal::DEFAULT_FSYNC_BATCH`]; the builder
+    /// override wins. Ignored without durability.
+    pub fn fsync_batch(&mut self, n: u64) -> &mut Self {
+        assert!(n > 0, "fsync batch must be positive");
+        self.fsync_batch = Some(n);
+        self
     }
 
     /// Select the serializability-checking mode (DESIGN.md §14):
@@ -347,11 +380,58 @@ impl ClusterBuilder {
         let check_buf = CheckMode::buf_from_env();
         let mut history_sinks: Vec<HistorySink> = Vec::new();
 
+        // Durability resolves the same way (`CHILLER_WAL` /
+        // `CHILLER_FSYNC_BATCH`; builder override wins). Opening the logs
+        // happens before data load: surviving records or checkpoints mean
+        // this build is a restart and must run recovery over the loaded
+        // initial state.
+        let durable_dir = self.durable.or_else(wal_dir_from_env);
+        let fsync_batch = self
+            .fsync_batch
+            .or_else(fsync_batch_from_env)
+            .unwrap_or(DEFAULT_FSYNC_BATCH);
+        let mut durability: Option<DurableSetup> = match durable_dir {
+            None => None,
+            Some(dir) => {
+                std::fs::create_dir_all(&dir).map_err(|e| {
+                    ChillerError::Config(format!(
+                        "cannot create WAL directory {}: {e}",
+                        dir.display()
+                    ))
+                })?;
+                let mut wals = Vec::with_capacity(self.nodes);
+                let mut logs = Vec::with_capacity(self.nodes);
+                let mut snapshots = Vec::with_capacity(self.nodes);
+                for n in 0..self.nodes {
+                    let (wal, records) =
+                        Wal::open(&wal_path(&dir, n), fsync_batch).map_err(|e| {
+                            ChillerError::Config(format!("cannot open WAL for node {n}: {e}"))
+                        })?;
+                    snapshots.push(read_checkpoint(&ckpt_path(&dir, n)));
+                    wals.push(wal);
+                    logs.push(records);
+                }
+                Some(DurableSetup {
+                    dir,
+                    wals,
+                    logs,
+                    snapshots,
+                })
+            }
+        };
+        let recovery_needed = durability.as_ref().is_some_and(|d| {
+            d.snapshots.iter().any(Option::is_some) || d.logs.iter().any(|l| !l.is_empty())
+        });
+
         // With core pinning on the threaded backend, defer the initial
         // loads to each engine's `on_start`: it runs on the already-pinned
         // worker thread, so the first touch of every row lands on that
-        // core's NUMA node. Everywhere else, load eagerly as before.
-        let stage_on_start = self.backend == Backend::Threaded && pin == PinPolicy::Cores;
+        // core's NUMA node. Everywhere else, load eagerly as before. A
+        // recovering build always loads eagerly — recovery rewrites the
+        // loaded stores before any engine exists, and a deferred load
+        // would clobber the recovered state at `on_start`.
+        let stage_on_start =
+            self.backend == Backend::Threaded && pin == PinPolicy::Cores && !recovery_needed;
         let mut staged: Vec<StagedRows> = (0..self.nodes).map(|_| StagedRows::default()).collect();
         for (rid, row) in self.records {
             let p = placement.partition_of(rid);
@@ -378,6 +458,53 @@ impl ClusterBuilder {
                 }
             }
         }
+
+        // Restart path: recover the loaded stores from the surviving
+        // checkpoints + logs, then make the recovered state the new
+        // baseline (fresh checkpoints, truncated logs, bumped epoch).
+        let mut recovery: Option<RecoveryReport> = None;
+        if recovery_needed {
+            let d = durability.as_mut().expect("recovery implies durability");
+            let epoch = read_epoch(&d.dir) + 1;
+            assert!(
+                epoch < 256,
+                "restart epoch {epoch} would overflow the TxnId sequence band \
+                 (epoch << 32 must stay below 2^40)"
+            );
+            let mut rep = RecoveryReport {
+                epoch,
+                ..Default::default()
+            };
+            for (n, snap) in d.snapshots.iter().enumerate() {
+                if let Some(snap) = snap {
+                    primaries[n].restore(snap);
+                    rep.checkpoints_restored += 1;
+                }
+            }
+            crash::recover(
+                &mut primaries,
+                &mut replicas,
+                &d.logs,
+                placement.as_ref(),
+                &mut rep,
+            );
+            for (n, wal) in d.wals.iter_mut().enumerate() {
+                chiller_storage::wal::write_checkpoint(&ckpt_path(&d.dir, n), &primaries[n])
+                    .map_err(|e| {
+                        ChillerError::Config(format!(
+                            "cannot checkpoint node {n} after recovery: {e}"
+                        ))
+                    })?;
+                wal.truncate();
+            }
+            write_epoch(&d.dir, epoch)?;
+            recovery = Some(rep);
+        }
+        let txn_seq_start = recovery.as_ref().map_or(0, |r| r.epoch << 32);
+        let (durable_dir, mut wals): (Option<PathBuf>, Vec<Option<Wal>>) = match durability {
+            Some(d) => (Some(d.dir), d.wals.into_iter().map(Some).collect()),
+            None => (None, (0..self.nodes).map(|_| None).collect()),
+        };
 
         let mut actors = Vec::with_capacity(self.nodes);
         for (n, (store, reps)) in primaries.into_iter().zip(replicas).enumerate() {
@@ -419,6 +546,8 @@ impl ClusterBuilder {
                 tracer,
                 recorder,
                 staged: std::mem::take(&mut staged[n]),
+                wal: wals[n].take(),
+                txn_seq_start,
             }));
         }
         let rt: Box<dyn Runtime<Msg, EngineActor>> = match self.backend {
@@ -459,7 +588,76 @@ impl ClusterBuilder {
                 sinks: history_sinks,
                 history: History::default(),
             },
+            durable_dir,
+            recovery,
         })
+    }
+}
+
+/// Per-node durability state assembled while building: open logs (with
+/// their surviving records decoded) and decoded checkpoints.
+struct DurableSetup {
+    dir: PathBuf,
+    wals: Vec<Wal>,
+    logs: Vec<Vec<WalRecord>>,
+    snapshots: Vec<Option<StoreSnapshot>>,
+}
+
+fn wal_path(dir: &Path, n: usize) -> PathBuf {
+    dir.join(format!("node-{n}.wal"))
+}
+
+fn ckpt_path(dir: &Path, n: usize) -> PathBuf {
+    dir.join(format!("node-{n}.ckpt"))
+}
+
+fn epoch_path(dir: &Path) -> PathBuf {
+    dir.join("epoch")
+}
+
+/// Restart epoch persisted in the durable directory: 0 on a fresh
+/// directory, incremented by every recovering build.
+fn read_epoch(dir: &Path) -> u64 {
+    std::fs::read_to_string(epoch_path(dir))
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// The recovery epoch recorded in a durable directory: 0 for a fresh (or
+/// never-crashed) directory, bumped by every recovering build. Workload
+/// sources that mint fresh record keys (e.g. TPC-C HISTORY rows) salt
+/// their sequences with this so a restarted incarnation never re-mints a
+/// key a dead one already inserted. Read it from inside a
+/// [`ClusterBuilder::source_per_node`] closure: the builder writes the
+/// bumped epoch before it constructs sources.
+pub fn wal_epoch(dir: &Path) -> u64 {
+    read_epoch(dir)
+}
+
+fn write_epoch(dir: &Path, e: u64) -> Result<()> {
+    std::fs::write(epoch_path(dir), format!("{e}\n"))
+        .map_err(|e| ChillerError::Config(format!("cannot write epoch file: {e}")))
+}
+
+/// `CHILLER_WAL` names the durable directory. Loud on nonsense: an empty
+/// value is a configuration error, not a silent "off".
+fn wal_dir_from_env() -> Option<PathBuf> {
+    let v = std::env::var("CHILLER_WAL").ok()?;
+    assert!(
+        !v.trim().is_empty(),
+        "CHILLER_WAL must name a directory, got an empty value (unset it to disable durability)"
+    );
+    Some(PathBuf::from(v))
+}
+
+/// `CHILLER_FSYNC_BATCH` is the group-commit batch size. Loud on nonsense:
+/// zero or garbage panics instead of silently falling back.
+fn fsync_batch_from_env() -> Option<u64> {
+    let v = std::env::var("CHILLER_FSYNC_BATCH").ok()?;
+    match v.trim().parse::<u64>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => panic!("CHILLER_FSYNC_BATCH must be a positive integer, got {v:?}"),
     }
 }
 
@@ -509,6 +707,10 @@ pub struct Cluster {
     adaptive: Option<AdaptiveState>,
     trace: TraceState,
     check: CheckState,
+    /// Directory holding per-node logs + checkpoints when durable.
+    durable_dir: Option<PathBuf>,
+    /// What recovery found and did, when this build was a restart.
+    recovery: Option<RecoveryReport>,
 }
 
 impl Cluster {
@@ -664,10 +866,20 @@ impl Cluster {
     }
 
     fn collect(&mut self, elapsed: Duration, wall: std::time::Duration) -> RunReport {
+        self.flush_wals();
         self.pump_trace();
         self.pump_history();
         let mut telemetry = self.rt.telemetry();
         telemetry.trace_events_dropped = self.trace.log.dropped;
+        telemetry.history_events_dropped = self.check.history.dropped;
+        for engine in self.rt.actors() {
+            if let Some(s) = engine.wal_stats() {
+                telemetry.wal_records_appended += s.records_appended;
+                telemetry.wal_bytes_appended += s.bytes_appended;
+                telemetry.wal_flushes += s.flushes;
+                telemetry.wal_fsyncs += s.fsyncs;
+            }
+        }
         RunReport::collect(
             self.rt.backend(),
             elapsed,
@@ -838,7 +1050,75 @@ impl Cluster {
             engine.stop_accepting();
         }
         self.rt.run_to_quiescence(u64::MAX);
+        self.flush_wals();
         self.pump_trace();
         self.pump_history();
+    }
+
+    /// Whether this cluster logs to per-node redo logs.
+    pub fn durable(&self) -> bool {
+        self.durable_dir.is_some()
+    }
+
+    /// What recovery found and did, when this build was a restart against
+    /// a durable directory with surviving state. `None` on fresh builds
+    /// and non-durable clusters.
+    pub fn recovery(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// Flush (write + fsync) every engine's buffered redo log. The control
+    /// plane holds exclusive actor access only while the runtime is
+    /// paused, so every call site is a flush boundary by construction:
+    /// run-window ends, quiescence, checkpoints, and kills.
+    fn flush_wals(&mut self) {
+        for engine in self.rt.actors_mut() {
+            engine.wal_flush();
+        }
+    }
+
+    /// Checkpoint every engine's primary partition and truncate the redo
+    /// logs (their records are now redundant). Call after
+    /// [`Self::quiesce`]: a checkpoint taken mid-flight could drop
+    /// `Decide`/`InnerCommit` records another node's recovery still
+    /// needs. No-op on non-durable clusters.
+    pub fn checkpoint(&mut self) -> std::io::Result<()> {
+        let Some(dir) = self.durable_dir.clone() else {
+            return Ok(());
+        };
+        for (n, engine) in self.rt.actors_mut().iter_mut().enumerate() {
+            engine.wal_flush();
+            engine.checkpoint_to(&ckpt_path(&dir, n))?;
+        }
+        Ok(())
+    }
+
+    /// Crash the cluster at a flush boundary: flush every redo log, drain
+    /// the observability rings, and drop the runtime *without*
+    /// checkpointing — exactly what a machine failure between batches
+    /// leaves behind. The returned snapshot carries the acked commit
+    /// counts and the drained history so a test can certify the recovered
+    /// incarnation: every commit acked here must survive recovery
+    /// (acked ⟺ its `Ack` record flushed, which this flush guarantees).
+    pub fn kill(mut self) -> CrashSnapshot {
+        self.flush_wals();
+        self.pump_trace();
+        self.pump_history();
+        let mut commits_by_proc: BTreeMap<String, u64> = BTreeMap::new();
+        let mut total = 0;
+        for engine in self.rt.actors() {
+            let report = engine.report();
+            for (name, stats) in report.metrics.per_type.iter() {
+                if stats.commits > 0 {
+                    *commits_by_proc.entry(name.clone()).or_insert(0) += stats.commits;
+                    total += stats.commits;
+                }
+            }
+        }
+        CrashSnapshot {
+            history: std::mem::take(&mut self.check.history),
+            commits_by_proc,
+            total_commits: total,
+        }
     }
 }

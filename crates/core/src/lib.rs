@@ -50,15 +50,18 @@
 //! ```
 
 pub mod cluster;
+pub mod crash;
 pub mod experiment;
 pub mod report;
 
 pub use cluster::{AdaptiveStats, Cluster, ClusterBuilder, RunSpec};
+pub use crash::{CrashPlan, CrashSnapshot, RecoveryReport};
 pub use report::RunReport;
 
 /// Convenience re-exports covering the whole public API surface.
 pub mod prelude {
     pub use crate::cluster::{AdaptiveStats, Cluster, ClusterBuilder, RunSpec};
+    pub use crate::crash::{CrashPlan, CrashSnapshot, RecoveryReport};
     pub use crate::report::RunReport;
     pub use chiller_adaptive::{AdaptiveConfig, Directory};
     pub use chiller_cc::input::{InputSource, ProcRegistry, ScriptedSource, TxnInput};

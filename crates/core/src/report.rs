@@ -151,11 +151,24 @@ impl RunReport {
         self.metrics.latency.p99() as f64 / 1_000.0
     }
 
+    /// Observability events lost to full rings: `(trace, history)` drops.
+    /// Nonzero history drops make every checker verdict over this run
+    /// `incomplete`.
+    pub fn events_dropped(&self) -> (u64, u64) {
+        (
+            self.telemetry.trace_events_dropped,
+            self.telemetry.history_events_dropped,
+        )
+    }
+
     /// One-line human summary, self-describing about what ran: backend,
     /// mailbox kind, and worker count lead the line so two summaries are
-    /// never compared across silently different configurations.
+    /// never compared across silently different configurations. When
+    /// observability rings overflowed, the line ends with a DEGRADED
+    /// marker — an `incomplete` checker verdict must be visible here, not
+    /// only in the raw report.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "[{} backend, {} mailbox, {} workers] {:.0} txn/s, abort rate {:.3}, distributed {:.2}, mean latency {:.1}us (p99 {:.1}us), commits {}",
             self.backend.label(),
             self.mailbox.map(MailboxKind::label).unwrap_or("no"),
@@ -166,7 +179,16 @@ impl RunReport {
             self.mean_latency_us(),
             self.p99_latency_us(),
             self.total_commits(),
-        )
+        );
+        let (trace_drops, history_drops) = self.events_dropped();
+        if trace_drops > 0 || history_drops > 0 {
+            let _ = write!(
+                s,
+                ", DEGRADED: {trace_drops} trace + {history_drops} history events dropped \
+                 (verdicts incomplete; raise CHILLER_TRACE_BUF / CHILLER_CHECK_BUF)"
+            );
+        }
+        s
     }
 
     /// Prometheus-style plain-text dump of the run's counters: commit and
@@ -235,6 +257,21 @@ impl RunReport {
             "# TYPE chiller_runtime_trace_events_dropped counter\n\
              chiller_runtime_trace_events_dropped {}",
             self.telemetry.trace_events_dropped
+        );
+        let _ = writeln!(
+            out,
+            "# TYPE chiller_runtime_history_events_dropped counter\n\
+             chiller_runtime_history_events_dropped {}",
+            self.telemetry.history_events_dropped
+        );
+        // Single alertable flag: 1 when any observability ring overflowed
+        // (trace timeline or checker history incomplete for this run).
+        let (trace_drops, history_drops) = self.events_dropped();
+        let _ = writeln!(
+            out,
+            "# TYPE chiller_observability_degraded gauge\n\
+             chiller_observability_degraded {}",
+            u8::from(trace_drops > 0 || history_drops > 0)
         );
         out
     }

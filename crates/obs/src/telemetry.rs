@@ -48,6 +48,19 @@ pub struct RuntimeTelemetry {
     /// Trace events lost to full trace rings (0 unless tracing is on and
     /// `CHILLER_TRACE_BUF` is undersized).
     pub trace_events_dropped: u64,
+    /// History observations lost to full checker rings (0 unless checking
+    /// is on and `CHILLER_CHECK_BUF` is undersized). Nonzero means every
+    /// verdict over the run's history is `incomplete`.
+    pub history_events_dropped: u64,
+    /// WAL records appended (durable runs only).
+    pub wal_records_appended: u64,
+    /// WAL bytes appended, framing included (durable runs only).
+    pub wal_bytes_appended: u64,
+    /// WAL buffered-write flushes that reached the file.
+    pub wal_flushes: u64,
+    /// WAL fsyncs issued. With group commit this is the amortization
+    /// headline: commit marks per fsync = commits / fsyncs.
+    pub wal_fsyncs: u64,
 }
 
 impl RuntimeTelemetry {
@@ -70,13 +83,18 @@ impl RuntimeTelemetry {
         self.notifies += other.notifies;
         self.timer_slop.merge(&other.timer_slop);
         self.trace_events_dropped += other.trace_events_dropped;
+        self.history_events_dropped += other.history_events_dropped;
+        self.wal_records_appended += other.wal_records_appended;
+        self.wal_bytes_appended += other.wal_bytes_appended;
+        self.wal_flushes += other.wal_flushes;
+        self.wal_fsyncs += other.wal_fsyncs;
     }
 
     /// `(name, value)` pairs for every plain counter/gauge, in render order.
     /// Names are Prometheus-style suffix-less stems; the report layer adds
     /// the `chiller_runtime_` prefix. The timer-slop histogram is rendered
     /// separately as quantile gauges.
-    pub fn counters(&self) -> [(&'static str, u64); 14] {
+    pub fn counters(&self) -> [(&'static str, u64); 18] {
         [
             ("batches_drained", self.batches_drained),
             ("flush_stalls", self.flush_stalls),
@@ -92,6 +110,10 @@ impl RuntimeTelemetry {
             ("tasks_stolen", self.tasks_stolen),
             ("steal_batches", self.steal_batches),
             ("notifies", self.notifies),
+            ("wal_records_appended", self.wal_records_appended),
+            ("wal_bytes_appended", self.wal_bytes_appended),
+            ("wal_flushes", self.wal_flushes),
+            ("wal_fsyncs", self.wal_fsyncs),
         ]
     }
 }
@@ -144,11 +166,18 @@ mod tests {
             steal_batches: 13,
             notifies: 14,
             timer_slop: Histogram::new(),
-            trace_events_dropped: 15,
+            // The drop counters are rendered separately (as degradation
+            // flags on the summary line), so they sit outside counters().
+            trace_events_dropped: 100,
+            history_events_dropped: 101,
+            wal_records_appended: 15,
+            wal_bytes_appended: 16,
+            wal_flushes: 17,
+            wal_fsyncs: 18,
         };
         let names: Vec<&str> = t.counters().iter().map(|(n, _)| *n).collect();
-        assert_eq!(names.len(), 14);
+        assert_eq!(names.len(), 18);
         let vals: Vec<u64> = t.counters().iter().map(|(_, v)| *v).collect();
-        assert_eq!(vals, (1..=14).collect::<Vec<u64>>());
+        assert_eq!(vals, (1..=18).collect::<Vec<u64>>());
     }
 }

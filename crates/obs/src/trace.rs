@@ -58,13 +58,26 @@ impl TraceMode {
 
     /// Trace ring capacity from `CHILLER_TRACE_BUF` (events per engine),
     /// defaulting to [`DEFAULT_TRACE_BUF`].
+    ///
+    /// # Panics
+    /// On anything that is not a positive integer — a zero-capacity ring
+    /// would silently drop every event, which is indistinguishable from
+    /// tracing being off (same loud-knob contract as `CHILLER_TRACE` and
+    /// `CHILLER_WORKERS`).
     pub fn buf_from_env() -> usize {
         match std::env::var("CHILLER_TRACE_BUF") {
             Err(_) => DEFAULT_TRACE_BUF,
-            Ok(v) => v
-                .parse::<usize>()
-                .unwrap_or_else(|_| panic!("CHILLER_TRACE_BUF needs an integer, got {v:?}"))
-                .max(1),
+            Ok(v) => Self::parse_buf(&v),
+        }
+    }
+
+    /// Parse one `CHILLER_TRACE_BUF` value; panics unless it is a positive
+    /// integer (factored out of [`Self::buf_from_env`] so the loudness
+    /// contract is testable without mutating process environment).
+    pub fn parse_buf(v: &str) -> usize {
+        match v.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => panic!("CHILLER_TRACE_BUF must be a positive integer, got {v:?}"),
         }
     }
 
@@ -349,6 +362,24 @@ mod tests {
 
     fn txn(node: u32, seq: u64) -> TxnId {
         TxnId::new(NodeId(node), seq)
+    }
+
+    #[test]
+    fn trace_buf_parses_positive_integers() {
+        assert_eq!(TraceMode::parse_buf("1"), 1);
+        assert_eq!(TraceMode::parse_buf("4096"), 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "CHILLER_TRACE_BUF must be a positive integer")]
+    fn trace_buf_rejects_zero_loudly() {
+        TraceMode::parse_buf("0");
+    }
+
+    #[test]
+    #[should_panic(expected = "CHILLER_TRACE_BUF must be a positive integer")]
+    fn trace_buf_rejects_garbage_loudly() {
+        TraceMode::parse_buf("big");
     }
 
     #[test]

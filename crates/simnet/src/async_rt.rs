@@ -708,6 +708,11 @@ fn run_engine<M, A: Actor<M>>(
         st.outstanding_delta -= handled as i64;
         st.tel.batches_drained += 1;
     }
+    // End of this engine's turn: amortized side effects (group-commit
+    // fsyncs) flush at the same boundary parked sends do. Also covers the
+    // zero-progress case — an engine going idle must not leave a commit
+    // buffered. No-op unless something is pending.
+    actor.on_batch_end();
     st.publish_outstanding(shared);
     let delivered = flush_pending(st, shared, w);
 

@@ -218,6 +218,15 @@ pub trait Actor<M> {
 
     /// A timer set via [`Ctx::set_timer`] fired.
     fn on_timer(&mut self, ctx: &mut Ctx<'_, M>, token: u64);
+
+    /// The wall-clock backends drained a batch of events for this actor
+    /// and are about to look for more work. Amortized side effects —
+    /// group-commit WAL fsyncs, most prominently — hang off this hook, the
+    /// same boundary remote sends already flush on. Never called by the
+    /// simulator (virtual time has no batches; the sim flushes at
+    /// count-based thresholds and control-plane pauses instead, keeping
+    /// its determinism contract). Default: nothing.
+    fn on_batch_end(&mut self) {}
 }
 
 /// A cluster execution backend: owns the actors, delivers messages and

@@ -867,8 +867,14 @@ fn worker<M, A: Actor<M>>(
         }
         if handled > 0 {
             st.tel.batches_drained += 1;
+            actor.on_batch_end();
             continue;
         }
+
+        // Going idle: give amortized side effects (group-commit fsyncs)
+        // their boundary before any sleep, so a straggler commit is not
+        // left buffered across a park. No-op unless something is pending.
+        actor.on_batch_end();
 
         // Nothing ready here; if nothing is outstanding anywhere, the
         // cluster is quiescent.

@@ -107,6 +107,14 @@ impl Bucket {
         self.records.iter()
     }
 
+    /// Iterate the complete per-record version map in key order —
+    /// tombstones included (a key deleted by a committed write keeps its
+    /// counter here). Checkpoints capture this so version chains survive
+    /// recovery across delete + re-insert.
+    pub fn versions(&self) -> impl Iterator<Item = (&u64, &u64)> {
+        self.record_versions.iter()
+    }
+
     /// Approximate memory footprint of the bucket's records in bytes.
     pub fn approx_size(&self) -> usize {
         self.records

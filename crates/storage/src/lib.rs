@@ -12,15 +12,21 @@
 //! * [`placement`] — where records live: hash/range default partitioners and
 //!   the hot-record lookup table (§4.4).
 //! * [`schema`] — table metadata and key-packing helpers.
+//! * [`wal`] — per-partition redo log, group commit, checkpoints (§15).
 
 pub mod bucket;
 pub mod lock;
 pub mod placement;
 pub mod schema;
 pub mod store;
+pub mod wal;
 
 pub use bucket::Bucket;
 pub use lock::{LockMode, LockState};
 pub use placement::{HashPlacement, LookupTable, Placement, RangePlacement};
 pub use schema::{KeyPacker, Schema, TableDef};
 pub use store::{PartitionStore, TableStore};
+pub use wal::{
+    DecideWrite, RedoOp, RedoWrite, StoreSnapshot, TableSnapshot, Wal, WalRecord, WalStats,
+    DEFAULT_FSYNC_BATCH,
+};

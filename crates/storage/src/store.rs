@@ -8,6 +8,7 @@
 use crate::bucket::Bucket;
 use crate::lock::{LockMode, Released};
 use crate::schema::Schema;
+use crate::wal::{RedoOp, RedoWrite, StoreSnapshot, TableSnapshot};
 use chiller_common::error::{ChillerError, Result};
 use chiller_common::ids::{PartitionId, RecordId, TableId, TxnId};
 use chiller_common::time::SimTime;
@@ -220,6 +221,93 @@ impl PartitionStore {
             .bucket_for(rid.key)
             .map(|b| b.lock.holds(txn))
             .unwrap_or(false)
+    }
+
+    // ---- durability (WAL + checkpoints, DESIGN.md §15) -------------------
+
+    /// Force `rid`'s per-record write counter to `v` exactly (WAL replay
+    /// installs the logged version rather than re-deriving it by bumping).
+    pub fn set_record_version(&mut self, rid: RecordId, v: u64) {
+        self.table_mut(rid.table)
+            .bucket_for_mut(rid.key)
+            .set_record_version(rid.key, v);
+    }
+
+    /// Replay one logged write, idempotently: the write is applied only
+    /// when its logged version is newer than what the store already holds,
+    /// and it installs that exact version. Replaying a log against a
+    /// checkpoint that already contains a suffix of it (the crash window
+    /// between checkpoint rename and log truncation) is therefore safe.
+    /// Returns whether the write was applied.
+    pub fn apply_redo(&mut self, w: &RedoWrite) -> bool {
+        if self.record_version(w.record) >= w.version {
+            return false;
+        }
+        match &w.op {
+            // Insert degrades to write on replay: the duplicate-key check
+            // already passed when the write committed pre-crash.
+            RedoOp::Put(row) | RedoOp::Insert(row) => self.write(w.record, row.clone()),
+            RedoOp::Delete => {
+                // The record may already be gone (present in neither the
+                // checkpoint nor the store); the tombstone version still
+                // advances below.
+                let _ = self.delete(w.record);
+            }
+        }
+        self.set_record_version(w.record, w.version);
+        true
+    }
+
+    /// Capture the partition's durable state: every row of every table
+    /// plus the complete per-record version map (tombstones included).
+    /// Tables and keys are sorted so snapshots are byte-stable.
+    pub fn snapshot(&self) -> StoreSnapshot {
+        let mut tables: Vec<TableSnapshot> = self
+            .tables
+            .iter()
+            .map(|(id, t)| {
+                let mut rows: Vec<(u64, Row)> =
+                    t.iter().map(|(k, row)| (*k, row.clone())).collect();
+                rows.sort_by_key(|(k, _)| *k);
+                let mut versions: Vec<(u64, u64)> = t
+                    .buckets
+                    .values()
+                    .flat_map(|b| b.versions().map(|(k, v)| (*k, *v)))
+                    .collect();
+                versions.sort_by_key(|(k, _)| *k);
+                TableSnapshot {
+                    table: *id,
+                    rows,
+                    versions,
+                }
+            })
+            .collect();
+        tables.sort_by_key(|t| t.table);
+        StoreSnapshot { tables }
+    }
+
+    /// Replace the partition's contents with `snap`: tables are rebuilt
+    /// empty from the schema (so records deleted after the snapshot do not
+    /// survive), rows installed, and record versions forced to the
+    /// snapshot's exact values.
+    pub fn restore(&mut self, snap: &StoreSnapshot) {
+        self.tables = self
+            .schema
+            .tables()
+            .map(|t| (t.id, TableStore::new(t.records_per_bucket)))
+            .collect();
+        for t in &snap.tables {
+            let ts = self
+                .tables
+                .get_mut(&t.table)
+                .unwrap_or_else(|| panic!("checkpoint has unknown table {}", t.table));
+            for (k, row) in &t.rows {
+                ts.bucket_for_mut(*k).put(*k, row.clone());
+            }
+            for (k, v) in &t.versions {
+                ts.bucket_for_mut(*k).set_record_version(*k, *v);
+            }
+        }
     }
 
     /// Diagnostic: total records across tables.

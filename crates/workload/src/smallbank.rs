@@ -384,6 +384,23 @@ pub fn build_cluster_checked(
     mailbox: Option<MailboxKind>,
     check: Option<CheckMode>,
 ) -> Cluster {
+    build_cluster_durable(cfg, nodes, protocol, sim, backend, mailbox, check, None)
+}
+
+/// [`build_cluster_checked`] with an explicit durable directory (`None`
+/// defers to the `CHILLER_WAL` environment knob): per-node redo logs land
+/// under `dir` and a rebuild against the same directory recovers.
+#[allow(clippy::too_many_arguments)]
+pub fn build_cluster_durable(
+    cfg: &SmallBankConfig,
+    nodes: usize,
+    protocol: Protocol,
+    sim: SimConfig,
+    backend: Backend,
+    mailbox: Option<MailboxKind>,
+    check: Option<CheckMode>,
+    durable: Option<&std::path::Path>,
+) -> Cluster {
     let mut builder = ClusterBuilder::new(SmallBankConfig::schema(), nodes);
     let procs = register_procs(|p| builder.register_proc(p));
     builder
@@ -398,6 +415,9 @@ pub fn build_cluster_checked(
     }
     if let Some(mode) = check {
         builder.check(mode);
+    }
+    if let Some(dir) = durable {
+        builder.durable(dir);
     }
     let cfg = cfg.clone();
     builder.source_per_node(move |_| Box::new(SmallBankSource::new(cfg.clone(), procs)));
@@ -431,12 +451,33 @@ pub fn total_balance(cluster: &Cluster) -> f64 {
 /// (`RunSpec::millis(0, ..)`), because warm-up commits are discarded from
 /// the metrics while their balance effects persist.
 pub fn assert_smallbank_invariants(cluster: &Cluster, cfg: &SmallBankConfig, label: &str) {
+    assert_smallbank_invariants_recovered(cluster, cfg, &[], label);
+}
+
+/// Crash-recovery variant of [`assert_smallbank_invariants`]: the balance
+/// must equal the initial total adjusted by every commit across all of the
+/// cluster's incarnations, not just the live engines' counters. `extra`
+/// carries per-procedure commit counts from before the current
+/// incarnation — the acked counts a [`chiller::CrashSnapshot`] captured at
+/// each kill plus the [`chiller::RecoveryReport::recovered_unacked`]
+/// commits recovery resolved that were never acked (their balance effects
+/// survive in the recovered stores but no metrics counter ever saw them).
+pub fn assert_smallbank_invariants_recovered(
+    cluster: &Cluster,
+    cfg: &SmallBankConfig,
+    extra: &[&std::collections::BTreeMap<String, u64>],
+    label: &str,
+) {
     let count = |name: &str| -> u64 {
-        cluster
+        let live: u64 = cluster
             .engines()
             .iter()
             .map(|e| e.metrics().per_type.get(name).map_or(0, |s| s.commits))
-            .sum()
+            .sum();
+        live + extra
+            .iter()
+            .map(|m| m.get(name).copied().unwrap_or(0))
+            .sum::<u64>()
     };
     let deposits = count("DepositChecking");
     let checks = count("WriteCheck");

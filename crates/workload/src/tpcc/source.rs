@@ -92,6 +92,20 @@ impl TpccSource {
         }
     }
 
+    /// Start the HISTORY-row key sequence at `first`. Payment mints fresh
+    /// HISTORY keys from this counter, so a restarted durable incarnation
+    /// must not begin at 0 again — salt with the recovery epoch
+    /// (`chiller::cluster::wal_epoch(dir) << 32`) to keep every
+    /// incarnation's keys disjoint.
+    pub fn with_first_history_seq(mut self, first: u64) -> Self {
+        assert!(
+            first < (1 << 40),
+            "history seq must fit the key's 40-bit sequence field"
+        );
+        self.history_seq = first;
+        self
+    }
+
     fn other_warehouse(&self, rng: &mut StdRng) -> u64 {
         if self.cfg.warehouses == 1 {
             return self.home_w;
@@ -268,6 +282,25 @@ pub fn build_tpcc_cluster_traced(
     backend: Backend,
     trace: Option<TraceMode>,
 ) -> Cluster {
+    build_tpcc_cluster_full(cfg, mix, protocol, sim, backend, trace, None, None)
+}
+
+/// The fully-parameterized TPC-C cluster door: explicit trace mode,
+/// serializability-check mode, and durable directory (`None` defers each
+/// to its environment knob). The crash-recovery suite drives every
+/// backend through this — once to kill, once to recover against the same
+/// directory.
+#[allow(clippy::too_many_arguments)]
+pub fn build_tpcc_cluster_full(
+    cfg: &TpccConfig,
+    mix: TpccMix,
+    protocol: Protocol,
+    sim: SimConfig,
+    backend: Backend,
+    trace: Option<TraceMode>,
+    check: Option<CheckMode>,
+    durable: Option<&std::path::Path>,
+) -> Cluster {
     assert_eq!(
         cfg.warehouses as usize as u64, cfg.warehouses,
         "warehouse count fits usize"
@@ -285,14 +318,27 @@ pub fn build_tpcc_cluster_traced(
     if let Some(mode) = trace {
         builder.trace(mode);
     }
+    if let Some(mode) = check {
+        builder.check(mode);
+    }
+    if let Some(dir) = durable {
+        builder.durable(dir);
+    }
     let cfg = cfg.clone();
+    // Sources are constructed after the builder's recovery pass has bumped
+    // the epoch file, so a post-crash incarnation salts its HISTORY key
+    // sequence and never collides with rows a dead incarnation inserted.
+    let wal_dir = durable.map(std::path::Path::to_path_buf).or_else(|| {
+        std::env::var("CHILLER_WAL")
+            .ok()
+            .map(std::path::PathBuf::from)
+    });
     builder.source_per_node(move |node| {
-        Box::new(TpccSource::new(
-            cfg.clone(),
-            procs.clone(),
-            mix,
-            node.0 as u64 + 1,
-        ))
+        let epoch = wal_dir.as_deref().map_or(0, chiller::cluster::wal_epoch);
+        Box::new(
+            TpccSource::new(cfg.clone(), procs.clone(), mix, node.0 as u64 + 1)
+                .with_first_history_seq(epoch << 32),
+        )
     });
     builder.build().expect("valid TPC-C cluster")
 }
